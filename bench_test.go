@@ -1,0 +1,369 @@
+package ghosts
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus ablations for the design choices DESIGN.md
+// calls out. Each benchmark runs the corresponding experiment end to end
+// (simulate → collect → preprocess → estimate → summarise) and reports the
+// headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's results at simulation scale. The environment is
+// shared and cached across benchmarks (as the experiments share their
+// pipeline), so the first benchmark touching a pipeline pays its cost.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"testing"
+
+	"ghosts/internal/core"
+	"ghosts/internal/crossval"
+	"ghosts/internal/dataset"
+	"ghosts/internal/experiments"
+	"ghosts/internal/sources"
+	"ghosts/internal/universe"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv = experiments.New(universe.TinyConfig(5), 99)
+		benchEnv.MaxTerms = 3
+	})
+	return benchEnv
+}
+
+func BenchmarkTable2(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Table2(e)
+		d.Render(io.Discard)
+		last := d.Rows[len(d.Rows)-1]
+		b.ReportMetric(float64(last.IPs[2013]), "TPING-2013-IPs")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Table3(e, 4)
+		d.Render(io.Discard)
+		for _, r := range d.Rows {
+			if r.Setting == "BIC-adaptive1000" {
+				b.ReportMetric(r.RMSEAddrs, "RMSE-IPs")
+				b.ReportMetric(r.RMSES24, "RMSE-s24")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Table4(e)
+		d.Render(io.Discard)
+		var crErr, obsErr float64
+		for _, r := range d.Rows {
+			crErr += math.Abs(r.TruncPct - r.TruthPct)
+			obsErr += math.Abs(r.ObsPct - r.TruthPct)
+		}
+		n := float64(len(d.Rows))
+		b.ReportMetric(100*crErr/n, "CR-err-pct")
+		b.ReportMetric(100*obsErr/n, "obs-err-pct")
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Table5(e)
+		d.Render(io.Discard)
+		b.ReportMetric(d.EstAddrs["None"], "est-IPs")
+		b.ReportMetric(d.EstAddrs["None"]/d.Ping[0], "est-over-ping")
+		b.ReportMetric(d.EstS24["None"], "est-s24")
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Table6(e)
+		d.Render(io.Discard)
+		b.ReportMetric(d.World.GrowthIPs, "world-IP-growth")
+		if !math.IsInf(d.World.RunoutIPs, 1) {
+			b.ReportMetric(d.World.RunoutIPs, "world-runout-year")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure2(e)
+		d.Render(io.Discard)
+		last := len(d.Labels) - 1
+		b.ReportMetric(d.UnfilteredEst[last]/d.FilteredEst[last], "spike-blowup")
+		b.ReportMetric(d.FilteredEst[last]/d.NoNetflowEst[last], "filtered-vs-clean")
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure3(e)
+		d.Render(io.Discard)
+		var sum float64
+		for _, en := range d.Entries {
+			sum += en.Est
+		}
+		b.ReportMetric(sum/float64(len(d.Entries)), "mean-normalised-est")
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure4(e)
+		d.Render(io.Discard)
+		n := len(d.Labels) - 1
+		b.ReportMetric(d.Estimated[n]/d.Estimated[0], "s24-growth")
+		b.ReportMetric(d.Estimated[n]/d.Observed[n], "est-over-obs")
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure5(e)
+		d.Render(io.Discard)
+		n := len(d.Labels) - 1
+		b.ReportMetric(d.Estimated[n]/d.Estimated[0], "IP-growth")
+		b.ReportMetric(d.Estimated[n]/d.Observed[n], "est-over-obs")
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure6(e)
+		d.Render(io.Discard)
+		b.ReportMetric(float64(len(d.Series)), "RIR-series")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure7(e)
+		d.Render(io.Discard)
+		b.ReportMetric(float64(len(d.Labels)), "prefix-strata")
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure8(e)
+		d.Render(io.Discard)
+		b.ReportMetric(float64(len(d.Labels)), "age-strata")
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure9(e, 20)
+		d.Render(io.Discard)
+		b.ReportMetric(float64(len(d.Labels)), "countries")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure10(e)
+		d.Render(io.Discard)
+		b.ReportMetric(d.Allocated[len(d.Allocated)-1], "allocated-2014")
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure11(e)
+		d.Render(io.Discard)
+		b.ReportMetric(d.UserGrowth, "user-growth-M")
+		b.ReportMetric(100*d.MeasuredRel, "measured-rel-growth-pct")
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure12(e)
+		d.Render(io.Discard)
+		b.ReportMetric(d.Ghosts, "ghosts")
+		b.ReportMetric(d.Model24, "model-s24-filled")
+	}
+}
+
+// --------------------------------------------------------------- ablations
+
+// BenchmarkAblationDivisor compares end-of-study estimates across the
+// divisor settings (the design choice of §3.3.2): large fixed divisors
+// simplify the model, adaptive tracks the data.
+func BenchmarkAblationDivisor(b *testing.B) {
+	e := env(b)
+	bundle := e.Bundle(10, dataset.DefaultOptions())
+	tb := core.TableFromSets(bundle.Sets, bundle.NameStrings())
+	for i := 0; i < b.N; i++ {
+		for _, s := range experiments.Table3Settings() {
+			est := core.NewEstimator(s.IC, s.Divisor, float64(bundle.RoutedAddrs))
+			est.MaxTerms = 3
+			est.MaxOrder = 2
+			res, err := est.EstimatePoint(tb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Name == "BIC-adaptive1000" || s.Name == "AIC-fixed1" {
+				b.ReportMetric(res.N, s.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTruncation compares plain-Poisson and right-truncated
+// estimates (§3.3.1/§5.2: truncation stabilises small strata).
+func BenchmarkAblationTruncation(b *testing.B) {
+	e := env(b)
+	bundle := e.Bundle(10, dataset.DefaultOptions())
+	tb := core.TableFromSets(bundle.Sets, bundle.NameStrings())
+	for i := 0; i < b.N; i++ {
+		plain, err := e.Estimator(math.Inf(1)).EstimatePoint(tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trunc, err := e.Estimator(float64(bundle.RoutedAddrs)).EstimatePoint(tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(plain.N, "poisson")
+		b.ReportMetric(trunc.N, "truncated")
+	}
+}
+
+// BenchmarkAblationSources measures how the estimate converges as sources
+// are added (the value of source diversity, §4.2).
+func BenchmarkAblationSources(b *testing.B) {
+	e := env(b)
+	bundle := e.Bundle(10, dataset.DefaultOptions())
+	truth := float64(e.U.UsedAt(bundle.Window.End).Len())
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{3, 5, 7, len(bundle.Sets)} {
+			est, _ := e.EstimateSets(bundle.Sets[:k], float64(bundle.RoutedAddrs))
+			b.ReportMetric(100*est/truth, fmt.Sprintf("pct-of-truth-%dsrc", k))
+		}
+	}
+}
+
+// BenchmarkAblationLP contrasts two-source Lincoln-Petersen estimates with
+// the full log-linear fit (§3.2.2: correlated sources bias L-P).
+func BenchmarkAblationLP(b *testing.B) {
+	e := env(b)
+	bundle := e.Bundle(10, dataset.DefaultOptions())
+	tb := core.TableFromSets(bundle.Sets, bundle.NameStrings())
+	pingIdx, webIdx, gameIdx := -1, -1, -1
+	for i, n := range bundle.Names {
+		switch n {
+		case sources.IPING:
+			pingIdx = i
+		case sources.WEB:
+			webIdx = i
+		case sources.GAME:
+			gameIdx = i
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		llm, err := e.Estimator(float64(bundle.RoutedAddrs)).EstimatePoint(tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(llm.N, "LLM")
+		b.ReportMetric(core.LincolnPetersenPair(tb, pingIdx, webIdx), "LP-ping-web")
+		b.ReportMetric(core.LincolnPetersenPair(tb, webIdx, gameIdx), "LP-web-game")
+	}
+}
+
+// BenchmarkCrossValidation runs the full §5 harness on one window.
+func BenchmarkCrossValidation(b *testing.B) {
+	e := env(b)
+	bundle := e.Bundle(9, dataset.DefaultOptions())
+	est := core.NewEstimator(core.BIC, core.Adaptive1000, math.Inf(1))
+	est.MaxTerms = 3
+	est.MaxOrder = 2
+	for i := 0; i < b.N; i++ {
+		res := crossval.Run(bundle.Names, bundle.Sets, est, false)
+		rmse, mae := crossval.Errors(res)
+		b.ReportMetric(rmse, "rmse")
+		b.ReportMetric(mae, "mae")
+	}
+}
+
+// BenchmarkChurn reproduces the §4.6 in-text churn numbers.
+func BenchmarkChurn(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Churn(e)
+		d.Render(io.Discard)
+		b.ReportMetric(d.AddrGrowth, "addr-growth-x")
+		b.ReportMetric(d.S24Growth, "s24-growth-x")
+	}
+}
+
+// BenchmarkAblationPools contrasts DHCP allocation policies (§4.6).
+func BenchmarkAblationPools(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Pools(e)
+		d.Render(io.Discard)
+		last := len(d.Months) - 1
+		b.ReportMetric(float64(d.LowestEver[last]), "lowest-free-ever")
+		b.ReportMetric(float64(d.UniformEver[last]), "uniform-ever")
+	}
+}
+
+// BenchmarkEstimators compares the estimator family against ground truth.
+func BenchmarkEstimators(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.Estimators(e)
+		d.Render(io.Discard)
+		for _, r := range d.Rows {
+			switch r.Name {
+			case "Log-linear CR (paper)":
+				b.ReportMetric(r.ErrPct, "LLM-err-pct")
+			case "Heidemann 1.86 x ping":
+				b.ReportMetric(r.ErrPct, "heidemann-err-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkPortSurvey reproduces footnote 2's port-responsiveness survey.
+func BenchmarkPortSurvey(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		d := experiments.PortSurvey(e, 60000)
+		d.Render(io.Discard)
+		b.ReportMetric(float64(d.Responders[80]), "port80")
+		b.ReportMetric(float64(d.Responders[443]), "port443")
+	}
+}

@@ -1,0 +1,225 @@
+// Command ghosts runs the capture-recapture pipeline end to end and
+// reproduces the paper's tables and figures against a simulated Internet.
+//
+// Usage:
+//
+//	ghosts -exp all                 # run every experiment at small scale
+//	ghosts -exp table5 -scale tiny  # one experiment, fast
+//	ghosts -exp fig4,fig5 -seed 7   # comma-separated experiment ids
+//	ghosts -list                    # list experiment ids
+//
+// Experiment ids: table2 table3 table4 table5 table6 fig2 fig3 fig4 fig5
+// fig6 fig7 fig8 fig9 fig10 fig11 fig12 churn pools estimators ports summary
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"ghosts/internal/dataset"
+	"ghosts/internal/experiments"
+	"ghosts/internal/report"
+	"ghosts/internal/universe"
+)
+
+// renderable is any experiment result that can print itself.
+type renderable interface{ Render(w io.Writer) }
+
+type experiment struct {
+	id    string
+	title string
+	run   func(*experiments.Env) renderable
+}
+
+func catalogue() []experiment {
+	return []experiment{
+		{"table2", "per-source unique IPs and /24s per year", func(e *experiments.Env) renderable { return experiments.Table2(e) }},
+		{"table3", "cross-validation of model-selection settings", func(e *experiments.Env) renderable { return experiments.Table3(e, 2) }},
+		{"table4", "ground-truth comparison for six networks", func(e *experiments.Env) renderable { return experiments.Table4(e) }},
+		{"table5", "end-of-study totals by stratification", func(e *experiments.Env) renderable { return experiments.Table5(e) }},
+		{"table6", "years of supply by RIR", func(e *experiments.Env) renderable { return experiments.Table6(e) }},
+		{"fig2", "/24 estimates with and without spoof filtering", func(e *experiments.Env) renderable { return experiments.Figure2(e) }},
+		{"fig3", "per-source cross-validation panels", func(e *experiments.Env) renderable { return experiments.Figure3(e) }},
+		{"fig4", "/24 subnet growth", func(e *experiments.Env) renderable { return experiments.Figure4(e) }},
+		{"fig5", "IPv4 address growth", func(e *experiments.Env) renderable { return experiments.Figure5(e) }},
+		{"fig6", "estimated addresses by RIR", func(e *experiments.Env) renderable { return experiments.Figure6(e) }},
+		{"fig7", "growth by allocation prefix size", func(e *experiments.Env) renderable { return experiments.Figure7(e) }},
+		{"fig8", "growth by allocation age", func(e *experiments.Env) renderable { return experiments.Figure8(e) }},
+		{"fig9", "growth by country", func(e *experiments.Env) renderable { return experiments.Figure9(e, 20) }},
+		{"fig10", "long-term allocated/routed/used view", func(e *experiments.Env) renderable { return experiments.Figure10(e) }},
+		{"fig11", "ITU user growth consistency check", func(e *experiments.Env) renderable { return experiments.Figure11(e) }},
+		{"fig12", "unused-space prediction", func(e *experiments.Env) renderable { return experiments.Figure12(e) }},
+		{"churn", "§4.6 dynamic-address churn (GAME sessions)", func(e *experiments.Env) renderable { return experiments.Churn(e) }},
+		{"pools", "§4.6 ablation: DHCP allocation policies", func(e *experiments.Env) renderable { return experiments.Pools(e) }},
+		{"estimators", "estimator family vs ground truth", func(e *experiments.Env) renderable { return experiments.Estimators(e) }},
+		{"ports", "TCP port survey (footnote 2)", func(e *experiments.Env) renderable { return experiments.PortSurvey(e, 200000) }},
+		{"summary", "headline numbers (abstract and §6.2)", func(e *experiments.Env) renderable { return summarize(e) }},
+	}
+}
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "summary", "comma-separated experiment ids, or 'all'")
+		scaleFlag   = flag.String("scale", "small", "universe scale: tiny, small, medium")
+		seedFlag    = flag.Uint64("seed", 42, "simulation seed")
+		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
+		outFlag     = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+		collectFlag = flag.String("collect", "", "simulate the final window and write per-source .gset files to this directory, then exit")
+		estFlag     = flag.String("estimate", "", "load .gset files from this directory, estimate, and exit")
+	)
+	flag.Parse()
+
+	if *estFlag != "" {
+		if err := estimate(*estFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cat := catalogue()
+	if *listFlag {
+		for _, ex := range cat {
+			fmt.Printf("%-8s %s\n", ex.id, ex.title)
+		}
+		return
+	}
+
+	var cfg universe.Config
+	switch *scaleFlag {
+	case "tiny":
+		cfg = universe.TinyConfig(*seedFlag)
+	case "small":
+		cfg = universe.SmallConfig(*seedFlag)
+	case "medium":
+		cfg = universe.MediumConfig(*seedFlag)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (tiny, small, medium)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, ex := range cat {
+			want[ex.id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, ex := range cat {
+		known[ex.id] = true
+	}
+	var unknown []string
+	for id := range want {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "unknown experiment ids: %s (use -list)\n", strings.Join(unknown, ", "))
+		os.Exit(2)
+	}
+
+	fmt.Printf("# capturing ghosts — scale=%s seed=%d\n", *scaleFlag, *seedFlag)
+	start := time.Now()
+	env := experiments.New(cfg, *seedFlag)
+	if *collectFlag != "" {
+		if err := collect(env, *collectFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncollected in %v; estimate with: ghosts -estimate %s\n",
+			time.Since(start).Round(time.Millisecond), *collectFlag)
+		return
+	}
+	for _, ex := range cat {
+		if !want[ex.id] {
+			continue
+		}
+		t0 := time.Now()
+		fmt.Printf("\n== %s: %s ==\n", ex.id, ex.title)
+		result := ex.run(env)
+		result.Render(os.Stdout)
+		if *outFlag != "" {
+			if err := writeOutput(*outFlag, ex.id, result); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", ex.id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s in %v)\n", ex.id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeOutput renders one experiment into <dir>/<id>.txt and its typed
+// data into <dir>/<id>.json (for plotting).
+func writeOutput(dir, id string, r renderable) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".txt"))
+	if err != nil {
+		return err
+	}
+	r.Render(f)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	j, err := os.Create(filepath.Join(dir, id+".json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(j)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		j.Close()
+		return err
+	}
+	return j.Close()
+}
+
+// summary prints the headline analogues of the abstract: pinged, observed
+// and estimated used addresses and /24 subnets, with routed-space shares.
+type summary struct {
+	env *experiments.Env
+}
+
+func summarize(e *experiments.Env) renderable { return &summary{env: e} }
+
+func (s *summary) Render(w io.Writer) {
+	e := s.env
+	es := e.Estimates(dataset.DefaultOptions(), false, false)
+	es24 := e.Estimates(dataset.DefaultOptions(), true, false)
+	last := len(es) - 1
+	we, we24 := es[last], es24[last]
+	t := report.Table{
+		Title:   fmt.Sprintf("Headline estimates at %s (cf. abstract / §6.2)", we.Window.Label()),
+		Headers: []string{"Metric", "Ping", "Observed", "Estimated", "Routed", "Obs/Routed", "Est/Routed"},
+	}
+	t.AddRow("IPv4 addresses",
+		report.FormatFloat(we.Ping), report.FormatFloat(we.Observed),
+		report.FormatFloat(we.Est), report.FormatFloat(we.Routed),
+		report.Percent(we.Observed/we.Routed), report.Percent(we.Est/we.Routed))
+	t.AddRow("/24 subnets",
+		report.FormatFloat(we24.Ping), report.FormatFloat(we24.Observed),
+		report.FormatFloat(we24.Est), report.FormatFloat(we24.Routed),
+		report.Percent(we24.Observed/we24.Routed), report.Percent(we24.Est/we24.Routed))
+	t.Render(w)
+	growth := experiments.LinearGrowth(es, func(x experiments.WindowEstimate) float64 { return x.Est })
+	growth24 := experiments.LinearGrowth(es24, func(x experiments.WindowEstimate) float64 { return x.Est })
+	fmt.Fprintf(w, "Estimated growth: %s addresses/year, %s /24s/year\n",
+		report.FormatFloat(growth), report.FormatFloat(growth24))
+	fmt.Fprintf(w, "Estimate/ping quotient: %.2f (paper: 2.6-2.7, Heidemann factor was 1.86)\n",
+		we.Est/we.Ping)
+}

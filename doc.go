@@ -1,0 +1,15 @@
+// Package ghosts is a reproduction of "Capturing Ghosts: Predicting the
+// Used IPv4 Space by Inferring Unobserved Addresses" (Zander, Andrew,
+// Armitage; IMC 2014).
+//
+// The library estimates the true population of used IPv4 addresses —
+// including addresses active but never observed by any measurement — by
+// applying log-linear capture-recapture models to the capture histories of
+// multiple heterogeneous measurement sources.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-reproduction comparison. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation; the
+// runnable entry points are cmd/ghosts and the programs under examples/.
+package ghosts

@@ -1,0 +1,45 @@
+// Runout: run the full pipeline — simulate, observe with nine sources,
+// spoof-filter, estimate per window — then project when each registry's
+// remaining IPv4 supply runs out (the paper's Table 6), and predict how the
+// unobserved "ghost" addresses fill the vacant prefixes (§7, Figure 12).
+//
+//	go run ./examples/runout
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ghosts/internal/dataset"
+	"ghosts/internal/experiments"
+	"ghosts/internal/report"
+	"ghosts/internal/universe"
+)
+
+func main() {
+	fmt.Println("Simulating three and a half years of Internet measurement…")
+	env := experiments.New(universe.TinyConfig(21), 7)
+
+	es := env.Estimates(dataset.DefaultOptions(), false, false)
+	es24 := env.Estimates(dataset.DefaultOptions(), true, false)
+	t := report.Table{
+		Title:   "Observed vs estimated used space per window",
+		Headers: []string{"Window", "Observed IPs", "Estimated IPs", "Observed /24", "Estimated /24"},
+	}
+	for i := range es {
+		t.AddRow(es[i].Window.Label(),
+			report.FormatFloat(es[i].Observed), report.FormatFloat(es[i].Est),
+			report.FormatFloat(es24[i].Observed), report.FormatFloat(es24[i].Est))
+	}
+	t.Render(os.Stdout)
+
+	growth := experiments.LinearGrowth(es, func(w experiments.WindowEstimate) float64 { return w.Est })
+	fmt.Printf("\nLinear growth fit: %s addresses/year\n\n", report.FormatFloat(growth))
+
+	fmt.Println("Supply projection (cf. Table 6):")
+	experiments.Table6(env).Render(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("Ghost placement (cf. Figure 12):")
+	experiments.Figure12(env).Render(os.Stdout)
+}

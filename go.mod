@@ -1,0 +1,3 @@
+module ghosts
+
+go 1.22

@@ -1,0 +1,62 @@
+// Package bgp models the RouteViews-derived routed space (§4.4, §6.1): for
+// each time window the weekly RIB snapshots are aggregated (unioned) into a
+// prefix trie that bounds the capture-recapture estimates and defines which
+// observed addresses survive preprocessing.
+package bgp
+
+import (
+	"time"
+
+	"ghosts/internal/rng"
+	"ghosts/internal/trie"
+	"ghosts/internal/universe"
+	"ghosts/internal/windows"
+)
+
+// Snapshot returns one RIB snapshot at time t: the prefixes of allocations
+// routed by t, with a small per-snapshot flap probability (prefixes
+// temporarily absent, as in real RIB dumps). seed varies by snapshot.
+func Snapshot(u *universe.Universe, t time.Time, flap float64, seed uint64) *trie.Trie {
+	r := rng.New(seed)
+	out := &trie.Trie{}
+	for _, idx := range u.RoutedAllocs(t) {
+		if flap > 0 && r.Bernoulli(flap) {
+			continue
+		}
+		out.Insert(u.Reg.Allocs[idx].Prefix)
+	}
+	return out
+}
+
+// Aggregate unions weekly snapshots across the window (§4.4: "For each
+// time window we downloaded weekly snapshots from RV and then aggregated
+// all the snapshots"). Flapped prefixes are recovered by the union, so the
+// aggregate equals the set of allocations routed by the window's end.
+func Aggregate(u *universe.Universe, w windows.Window, seed uint64) *trie.Trie {
+	out := &trie.Trie{}
+	const flap = 0.03
+	week := 0
+	for t := w.Start; t.Before(w.End); t = t.AddDate(0, 0, 7) {
+		snap := Snapshot(u, t, flap, seed^uint64(week)*0x9e37)
+		for _, p := range snap.Prefixes() {
+			out.Insert(p)
+		}
+		week++
+	}
+	// Include the final instant so late-routed prefixes are not missed.
+	for _, idx := range u.RoutedAllocs(w.End) {
+		out.Insert(u.Reg.Allocs[idx].Prefix)
+	}
+	return out
+}
+
+// RoutedCounts returns the number of routed addresses and routed /24
+// subnets for the window (the "Routed" series of Figures 4–5).
+func RoutedCounts(u *universe.Universe, w windows.Window) (addrs, slash24 uint64) {
+	for _, idx := range u.RoutedAllocs(w.End) {
+		p := u.Reg.Allocs[idx].Prefix
+		addrs += p.Size()
+		slash24 += uint64(p.Slash24Count())
+	}
+	return addrs, slash24
+}

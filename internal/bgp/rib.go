@@ -1,0 +1,68 @@
+package bgp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ghosts/internal/ipv4"
+	"ghosts/internal/trie"
+)
+
+// This file implements a plain-text RIB snapshot format, one route per
+// line, in the style of the prefix lists distilled from RouteViews table
+// dumps (§4.4 downloads weekly snapshots and aggregates them):
+//
+//	# rib snapshot 2014-06-30
+//	1.0.0.0/24 64500
+//	1.0.4.0/22 64501
+//
+// The origin ASN column is carried for realism but ignored by the
+// pipeline, which only needs the routed prefix set.
+
+// WriteRIB serialises a prefix table, one "prefix origin-asn" per line, in
+// ascending prefix order, with an optional comment header.
+func WriteRIB(w io.Writer, t *trie.Trie, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		fmt.Fprintf(bw, "# %s\n", comment)
+	}
+	asn := 64500
+	var err error
+	t.Walk(func(p ipv4.Prefix) bool {
+		// A synthetic, deterministic origin per prefix.
+		_, err = fmt.Fprintf(bw, "%s %d\n", p, asn+int(p.Base>>20)%1000)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadRIB parses the snapshot back into an aggregated prefix trie. Blank
+// lines and # comments are skipped; a missing ASN column is tolerated.
+func ReadRIB(r io.Reader) (*trie.Trie, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := &trie.Trie{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		p, err := ipv4.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bgp: line %d: %v", lineNo, err)
+		}
+		out.Insert(p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"ghosts/internal/rng"
+)
+
+// BootstrapInterval computes a parametric-bootstrap percentile interval
+// for the population estimate, as an alternative to the profile-likelihood
+// interval: each observable cell is resampled Z*_s ~ Poisson(λ̂_s) from the
+// fitted model, the same model is refitted, and the conf-level percentile
+// range of the resampled N̂ is returned. Unlike the profile interval it
+// reflects only Poisson sampling noise, so it is a lower bound on the real
+// uncertainty (§3.3.3's caveat applies with the same force).
+func BootstrapInterval(tb *Table, fit *FitResult, limit float64, b int, conf float64, seed uint64) (Interval, error) {
+	if b < 10 {
+		return Interval{}, errors.New("core: need at least 10 bootstrap replicates")
+	}
+	if conf <= 0 || conf >= 1 {
+		return Interval{}, errors.New("core: confidence must be in (0,1)")
+	}
+	// Fitted cell means from the model's coefficients.
+	refit, err := FitModel(tb, fit.Model, limit, 1)
+	if err != nil {
+		return Interval{}, err
+	}
+	x := fit.Model.design()
+	lambdas := make([]float64, len(x))
+	for i, row := range x {
+		eta := 0.0
+		for j, v := range row {
+			eta += v * refit.Coef[j]
+		}
+		if eta > 30 {
+			eta = 30
+		}
+		lambdas[i] = math.Exp(eta)
+	}
+	r := rng.New(seed)
+	ests := make([]float64, 0, b)
+	resampled := NewTable(tb.T)
+	for rep := 0; rep < b; rep++ {
+		for s := 1; s < len(resampled.Counts); s++ {
+			resampled.Counts[s] = r.Poisson(lambdas[s-1])
+		}
+		if resampled.Observed() == 0 {
+			continue
+		}
+		f, err := fitModelInit(resampled, fit.Model, limit, 1, refit.Coef)
+		if err != nil {
+			continue
+		}
+		n := f.N
+		if !math.IsInf(limit, 1) && n > limit {
+			n = limit
+		}
+		ests = append(ests, n)
+	}
+	if len(ests) < b/2 {
+		return Interval{}, errors.New("core: too many bootstrap replicates failed")
+	}
+	sort.Float64s(ests)
+	alpha := 1 - conf
+	lo := ests[int(alpha/2*float64(len(ests)))]
+	hiIdx := int((1 - alpha/2) * float64(len(ests)))
+	if hiIdx >= len(ests) {
+		hiIdx = len(ests) - 1
+	}
+	return Interval{Lo: lo, Hi: ests[hiIdx], Alpha: alpha}, nil
+}

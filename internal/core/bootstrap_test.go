@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ghosts/internal/rng"
+)
+
+func TestBootstrapIntervalBracketsEstimate(t *testing.T) {
+	r := rng.New(41)
+	tb := sampleTable(r, 80000, []float64{0.3, 0.25, 0.2}, nil, 0)
+	fit, err := FitModel(tb, IndependenceModel(3), math.Inf(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := BootstrapInterval(tb, fit, math.Inf(1), 200, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo > fit.N || iv.Hi < fit.N {
+		t.Fatalf("interval [%v,%v] excludes estimate %v", iv.Lo, iv.Hi, fit.N)
+	}
+	if iv.Hi <= iv.Lo {
+		t.Fatal("degenerate interval")
+	}
+	// Poisson-only noise: the width should be modest relative to N.
+	if (iv.Hi-iv.Lo)/fit.N > 0.2 {
+		t.Fatalf("interval [%v,%v] too wide for pure sampling noise", iv.Lo, iv.Hi)
+	}
+	// Truth (80000) should be near or inside; allow model bias slack.
+	if iv.Hi < 70000 || iv.Lo > 90000 {
+		t.Fatalf("interval [%v,%v] far from truth 80000", iv.Lo, iv.Hi)
+	}
+}
+
+func TestBootstrapIntervalCoverage(t *testing.T) {
+	// Repeated simulation: the 90% bootstrap interval should cover the
+	// truth most of the time when the model is correctly specified.
+	const truth = 30000
+	covered, trials := 0, 12
+	for i := 0; i < trials; i++ {
+		r := rng.New(uint64(100 + i))
+		tb := sampleTable(r, truth, []float64{0.35, 0.3, 0.25}, nil, 0)
+		fit, err := FitModel(tb, IndependenceModel(3), math.Inf(1), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, err := BootstrapInterval(tb, fit, math.Inf(1), 120, 0.90, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Lo <= truth && truth <= iv.Hi {
+			covered++
+		}
+	}
+	if covered < trials/2 {
+		t.Fatalf("interval covered the truth only %d/%d times", covered, trials)
+	}
+}
+
+func TestBootstrapIntervalRespectsLimit(t *testing.T) {
+	r := rng.New(43)
+	tb := sampleTable(r, 50000, []float64{0.1, 0.12, 0.09}, nil, 0)
+	limit := 52000.0
+	fit, err := FitModel(tb, IndependenceModel(3), limit, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := BootstrapInterval(tb, fit, limit, 100, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Hi > limit+1e-9 {
+		t.Fatalf("upper bound %v exceeds truncation limit %v", iv.Hi, limit)
+	}
+}
+
+func TestBootstrapIntervalErrors(t *testing.T) {
+	r := rng.New(44)
+	tb := sampleTable(r, 1000, []float64{0.4, 0.4}, nil, 0)
+	fit, err := FitModel(tb, IndependenceModel(2), math.Inf(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BootstrapInterval(tb, fit, math.Inf(1), 5, 0.95, 1); err == nil {
+		t.Fatal("too few replicates accepted")
+	}
+	if _, err := BootstrapInterval(tb, fit, math.Inf(1), 100, 1.5, 1); err == nil {
+		t.Fatal("bad confidence accepted")
+	}
+}

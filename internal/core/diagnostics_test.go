@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ghosts/internal/rng"
+)
+
+func TestDependenceDetectsCorrelation(t *testing.T) {
+	r := rng.New(61)
+	// Sources 0 and 1 share a latent class; source 2 is neutral.
+	base := []float64{0.08, 0.08, 0.35}
+	hot := []float64{0.6, 0.6, 0.35}
+	tb := sampleTable(r, 200000, base, hot, 0.3)
+	dep := Dependence(tb)
+	if dep[0][1] <= 0.2 {
+		t.Fatalf("log-OR(0,1) = %v, want clearly positive", dep[0][1])
+	}
+	if math.Abs(dep[0][2]) > math.Abs(dep[0][1])/2 {
+		t.Fatalf("log-OR(0,2) = %v should be much weaker than (0,1) = %v", dep[0][2], dep[0][1])
+	}
+	// Symmetry and zero diagonal.
+	for i := 0; i < tb.T; i++ {
+		if dep[i][i] != 0 {
+			t.Fatal("diagonal must be zero")
+		}
+		for j := 0; j < tb.T; j++ {
+			if dep[i][j] != dep[j][i] {
+				t.Fatal("matrix must be symmetric")
+			}
+		}
+	}
+}
+
+func TestDependenceIndependentNearZero(t *testing.T) {
+	r := rng.New(62)
+	tb := sampleTable(r, 150000, []float64{0.3, 0.25, 0.35}, nil, 0)
+	dep := Dependence(tb)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if math.Abs(dep[i][j]) > 0.1 {
+				t.Errorf("log-OR(%d,%d) = %v, want ≈0 for independent sources", i, j, dep[i][j])
+			}
+		}
+	}
+}
+
+func TestGoodnessOfFit(t *testing.T) {
+	r := rng.New(63)
+	// Data generated with dependence: the independence model must fit
+	// poorly, the model with the right interaction much better.
+	base := []float64{0.08, 0.08, 0.3, 0.25}
+	hot := []float64{0.55, 0.55, 0.3, 0.25}
+	tb := sampleTable(r, 250000, base, hot, 0.3)
+
+	indep, err := FitModel(tb, IndependenceModel(4), math.Inf(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gofIndep := GoodnessOfFit(tb, indep)
+	dep, err := FitModel(tb, IndependenceModel(4).With(0b0011), math.Inf(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gofDep := GoodnessOfFit(tb, dep)
+
+	if gofDep.Deviance >= gofIndep.Deviance {
+		t.Fatalf("adding the true interaction must reduce deviance: %v -> %v",
+			gofIndep.Deviance, gofDep.Deviance)
+	}
+	if gofIndep.PValue > 1e-6 {
+		t.Fatalf("independence model should be rejected, p = %v", gofIndep.PValue)
+	}
+	if gofIndep.DF != 15-5 || gofDep.DF != 15-6 {
+		t.Fatalf("df = %d, %d", gofIndep.DF, gofDep.DF)
+	}
+	if gofDep.Pearson <= 0 || gofIndep.Pearson <= gofDep.Pearson {
+		t.Fatalf("Pearson: %v vs %v", gofIndep.Pearson, gofDep.Pearson)
+	}
+}
+
+func TestGoodnessOfFitPerfect(t *testing.T) {
+	// Exact expected counts under independence: deviance ≈ 0, p ≈ 1.
+	tb := expectedTable(1e6, []float64{0.3, 0.4, 0.2})
+	fit, err := FitModel(tb, IndependenceModel(3), math.Inf(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GoodnessOfFit(tb, fit)
+	if g.Deviance > 1 {
+		t.Fatalf("deviance %v on exact data", g.Deviance)
+	}
+	if g.PValue < 0.99 {
+		t.Fatalf("p-value %v on exact data", g.PValue)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"ghosts/internal/stats"
+)
+
+// Model identifies a hierarchical log-linear model by its interaction
+// terms. Main effects u_1..u_t and the intercept are always included; Terms
+// lists the interaction bitmasks (each with ≥2 bits set). The paper fixes
+// the highest-order term u_{12…t} to zero (§3.3.1), which simply means it
+// is never included here.
+type Model struct {
+	T     int
+	Terms []int // interaction bitmasks, each with ≥2 bits set, sorted
+}
+
+// IndependenceModel returns the model with no interactions (all sources
+// independent).
+func IndependenceModel(t int) Model { return Model{T: t} }
+
+// NumParams returns k, the number of free parameters: intercept + t main
+// effects + interactions.
+func (m Model) NumParams() int { return 1 + m.T + len(m.Terms) }
+
+// With returns a copy of m with the interaction term h added.
+func (m Model) With(h int) Model {
+	terms := make([]int, 0, len(m.Terms)+1)
+	terms = append(terms, m.Terms...)
+	terms = append(terms, h)
+	sort.Ints(terms)
+	return Model{T: m.T, Terms: terms}
+}
+
+// Has reports whether interaction term h is in the model.
+func (m Model) Has(h int) bool {
+	for _, x := range m.Terms {
+		if x == h {
+			return true
+		}
+	}
+	return false
+}
+
+// Hierarchical reports whether adding term h keeps the model hierarchical:
+// every sub-interaction of h with ≥2 bits must already be present. (Main
+// effects are always present.)
+func (m Model) Hierarchical(h int) bool {
+	if bits.OnesCount(uint(h)) < 2 {
+		return false
+	}
+	// Iterate proper non-empty subsets of h with ≥2 bits.
+	for sub := (h - 1) & h; sub > 0; sub = (sub - 1) & h {
+		if bits.OnesCount(uint(sub)) >= 2 && !m.Has(sub) {
+			return false
+		}
+	}
+	return true
+}
+
+// TermName renders an interaction mask like "u{1,3}" using 1-based source
+// indices (matching the paper's u₁₃ notation).
+func TermName(h int) string {
+	out := []byte("u{")
+	first := true
+	for i := 0; i < 16; i++ {
+		if h&(1<<uint(i)) != 0 {
+			if !first {
+				out = append(out, ',')
+			}
+			out = append(out, byte('1'+i))
+			first = false
+		}
+	}
+	return string(append(out, '}'))
+}
+
+// design builds the GLM design matrix for the model over the 2^t−1
+// observable histories (rows ordered by history mask 1..2^t−1). Column 0 is
+// the intercept, columns 1..t the main effects, then one column per
+// interaction; x[s][j] = 1 iff term j's source set is a subset of s.
+func (m Model) design() [][]float64 {
+	n := 1<<uint(m.T) - 1
+	p := m.NumParams()
+	x := make([][]float64, n)
+	for s := 1; s <= n; s++ {
+		row := make([]float64, p)
+		row[0] = 1
+		for i := 0; i < m.T; i++ {
+			if s&(1<<uint(i)) != 0 {
+				row[1+i] = 1
+			}
+		}
+		for j, h := range m.Terms {
+			if s&h == h {
+				row[1+m.T+j] = 1
+			}
+		}
+		x[s-1] = row
+	}
+	return x
+}
+
+// FitResult is a fitted log-linear CR model.
+type FitResult struct {
+	Model     Model
+	Coef      []float64 // intercept, mains, interactions (design order)
+	LogLik    float64   // maximised log-likelihood of the observed cells
+	Z0        float64   // estimated unobserved count exp(u)
+	N         float64   // M + Z0
+	Converged bool
+}
+
+// FitModel fits model m to the table by maximum likelihood. A finite limit
+// right-truncates every cell's Poisson distribution at limit (§3.3.1: the
+// size of the publicly routed space); pass math.Inf(1) for plain Poisson.
+// scale divides all counts before fitting (the divisor heuristic, §3.3.2);
+// use 1 for estimation.
+func FitModel(tb *Table, m Model, limit float64, scale float64) (*FitResult, error) {
+	return fitModelInit(tb, m, limit, scale, nil)
+}
+
+// fitModelInit is FitModel with warm-start coefficients in design order;
+// the stepwise search passes the parent model's coefficients with a zero
+// inserted for the new term.
+func fitModelInit(tb *Table, m Model, limit float64, scale float64, init []float64) (*FitResult, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	x := m.design()
+	n := len(x)
+	y := make([]float64, n)
+	for s := 1; s <= n; s++ {
+		y[s-1] = float64(tb.Counts[s]) / scale
+	}
+	var limits []float64
+	if !math.IsInf(limit, 1) {
+		limits = make([]float64, n)
+		l := math.Floor(limit / scale)
+		for i := range limits {
+			limits[i] = l
+		}
+	}
+	res, err := stats.FitPoissonGLMInit(x, y, limits, init)
+	if err != nil {
+		return nil, err
+	}
+	z0 := math.Exp(res.Coef[0]) * scale
+	return &FitResult{
+		Model:     m,
+		Coef:      res.Coef,
+		LogLik:    res.LogLik,
+		Z0:        z0,
+		N:         float64(tb.Observed()) + z0,
+		Converged: res.Converged,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+
+	"ghosts/internal/stats"
+)
+
+// Interval is a profile-likelihood interval for the population size N̂. As
+// the paper notes (§3.3.3), the sampling here is not truly random, so the
+// interval is a heuristic sensitivity indicator rather than a strict
+// confidence interval; the paper uses α = 1e-7 to obtain wide intervals.
+type Interval struct {
+	Lo, Hi float64
+	Alpha  float64
+}
+
+// profileLogLik evaluates the profile log-likelihood at population size N:
+// the unobserved cell is pinned to n₀ = N − M and the model parameters are
+// re-maximised over the full 2^t-cell table. Counts are divided by scale —
+// the paper's divisor heuristic — which widens the likelihood region to
+// reflect that the sampling is far from Poisson-random (§3.3.3: the
+// interval is "merely a useful heuristic indication").
+func profileLogLik(tb *Table, m Model, limit float64, n0 float64, scale float64) (float64, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	x := m.design()
+	// Extend with the unobserved-cell row: intercept only.
+	p := m.NumParams()
+	row0 := make([]float64, p)
+	row0[0] = 1
+	xx := make([][]float64, 0, len(x)+1)
+	xx = append(xx, row0)
+	xx = append(xx, x...)
+	y := make([]float64, 0, len(x)+1)
+	y = append(y, n0/scale)
+	for s := 1; s < len(tb.Counts); s++ {
+		y = append(y, float64(tb.Counts[s])/scale)
+	}
+	var limits []float64
+	if !math.IsInf(limit, 1) {
+		limits = make([]float64, len(y))
+		for i := range limits {
+			limits[i] = math.Floor(limit / scale)
+		}
+	}
+	res, err := stats.FitPoissonGLM(xx, y, limits)
+	if err != nil {
+		return 0, err
+	}
+	return res.LogLik, nil
+}
+
+// ProfileInterval computes the 100(1−α)% profile-likelihood interval for N̂
+// following the procedure of Baillargeon & Rivest (Rcapture): the interval
+// is {N : 2(ℓ_max − ℓ(N)) ≤ χ²₁(1−α)}, located by bisection on each side of
+// the point estimate. upper bounds the search (pass the routed-space size,
+// or +Inf).
+func ProfileInterval(tb *Table, fit *FitResult, limit float64, alpha, upper float64) (Interval, error) {
+	return ProfileIntervalScaled(tb, fit, limit, alpha, upper, 1)
+}
+
+// ProfileIntervalScaled is ProfileInterval with the divisor heuristic
+// applied to the likelihood (§3.3.2/§3.3.3): counts are divided by scale
+// before profiling, widening the interval by roughly √scale to account for
+// non-random sampling.
+func ProfileIntervalScaled(tb *Table, fit *FitResult, limit float64, alpha, upper, scale float64) (Interval, error) {
+	mObs := float64(tb.Observed())
+	nHat := fit.N
+	if nHat < mObs {
+		nHat = mObs
+	}
+	llMax, err := profileLogLik(tb, fit.Model, limit, nHat-mObs, scale)
+	if err != nil {
+		return Interval{}, err
+	}
+	crit := stats.ChiSquare1Quantile(1-alpha) / 2
+	drop := func(n float64) float64 {
+		ll, err := profileLogLik(tb, fit.Model, limit, n-mObs, scale)
+		if err != nil {
+			return math.Inf(1)
+		}
+		if ll > llMax {
+			// The profile can exceed the plug-in maximum slightly when the
+			// point fit is not the exact profile maximiser; tighten llMax.
+			llMax = ll
+		}
+		return llMax - ll
+	}
+
+	// Lower bound: bisect in [M, N̂].
+	lo := mObs
+	if drop(lo) <= crit {
+		// Even observing-everything is within the likelihood region.
+	} else {
+		a, b := mObs, nHat
+		for i := 0; i < 60 && b-a > 1e-6*(nHat+1); i++ {
+			mid := (a + b) / 2
+			if drop(mid) > crit {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		lo = (a + b) / 2
+	}
+
+	// Upper bound: expand geometrically from N̂ until the drop exceeds the
+	// critical value or we hit the upper limit, then bisect.
+	hi := nHat
+	if math.IsInf(upper, 1) || upper <= nHat {
+		upper = math.Max(nHat*16, nHat+16)
+	}
+	b := nHat
+	step := math.Max(nHat-mObs, 1)
+	exceeded := false
+	for i := 0; i < 60; i++ {
+		b = math.Min(b+step, upper)
+		if drop(b) > crit {
+			exceeded = true
+			break
+		}
+		if b >= upper {
+			break
+		}
+		step *= 2
+	}
+	if !exceeded {
+		hi = b
+	} else {
+		a := math.Max(nHat, b-step)
+		for i := 0; i < 60 && b-a > 1e-6*(b+1); i++ {
+			mid := (a + b) / 2
+			if drop(mid) > crit {
+				b = mid
+			} else {
+				a = mid
+			}
+		}
+		hi = (a + b) / 2
+	}
+	return Interval{Lo: lo, Hi: hi, Alpha: alpha}, nil
+}

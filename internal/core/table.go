@@ -1,0 +1,152 @@
+// Package core implements the paper's primary contribution: log-linear
+// capture-recapture (CR) estimation of the number of used-but-unobserved
+// IPv4 addresses ("ghosts") from the capture histories of multiple
+// measurement sources (§3).
+//
+// The entry point is Estimator.Estimate, which takes a contingency Table of
+// capture-history counts, selects a hierarchical log-linear model by
+// AIC/BIC with the paper's count-divisor heuristic and −7 rule (§3.3.2),
+// fits it by (optionally right-truncated) Poisson maximum likelihood
+// (§3.3.1), and returns the point estimate together with a
+// profile-likelihood interval (§3.3.3). Classical baselines
+// (Lincoln–Petersen, Chao's lower bound, the Heidemann ×1.86 ping
+// correction) are provided for comparison.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ghosts/internal/ipset"
+)
+
+// Table is a capture-history contingency table for T sources. Counts[m] is
+// the number of individuals observed by exactly the source set m (bit i of
+// m set ⇔ present in source i). Counts[0] — the unobserved cell Z₀ — is by
+// construction unknown and must be zero; CR estimates it.
+type Table struct {
+	T      int
+	Counts []int64  // length 1 << T
+	Names  []string // optional source names, length T
+}
+
+// NewTable returns an empty table for t sources.
+func NewTable(t int) *Table {
+	if t < 1 || t > 16 {
+		panic("core: table supports 1..16 sources")
+	}
+	return &Table{T: t, Counts: make([]int64, 1<<uint(t))}
+}
+
+// TableFromSets builds the contingency table of the given observation sets.
+func TableFromSets(sets []*ipset.Set, names []string) *Table {
+	tb := &Table{T: len(sets), Counts: ipset.CaptureHistogram(sets), Names: names}
+	return tb
+}
+
+// Observed returns M, the total number of observed individuals.
+func (tb *Table) Observed() int64 {
+	var m int64
+	for s := 1; s < len(tb.Counts); s++ {
+		m += tb.Counts[s]
+	}
+	return m
+}
+
+// SourceTotal returns the number of individuals observed by source i
+// (its marginal count).
+func (tb *Table) SourceTotal(i int) int64 {
+	var n int64
+	for s := 1; s < len(tb.Counts); s++ {
+		if s&(1<<uint(i)) != 0 {
+			n += tb.Counts[s]
+		}
+	}
+	return n
+}
+
+// PairOverlap returns the number of individuals observed by both sources i
+// and j.
+func (tb *Table) PairOverlap(i, j int) int64 {
+	var n int64
+	m := 1<<uint(i) | 1<<uint(j)
+	for s := 1; s < len(tb.Counts); s++ {
+		if s&m == m {
+			n += tb.Counts[s]
+		}
+	}
+	return n
+}
+
+// CapturedExactly returns f_k: the number of individuals observed by
+// exactly k sources. Chao's estimator uses f₁ and f₂.
+func (tb *Table) CapturedExactly(k int) int64 {
+	var n int64
+	for s := 1; s < len(tb.Counts); s++ {
+		if bits.OnesCount(uint(s)) == k {
+			n += tb.Counts[s]
+		}
+	}
+	return n
+}
+
+// MinPositive returns the smallest non-zero cell count, or 0 when every
+// observable cell is zero. The adaptive divisor heuristic halves d until it
+// falls below this value (§3.3.2).
+func (tb *Table) MinPositive() int64 {
+	var min int64
+	for s := 1; s < len(tb.Counts); s++ {
+		if c := tb.Counts[s]; c > 0 && (min == 0 || c < min) {
+			min = c
+		}
+	}
+	return min
+}
+
+// DropEmptySources returns a table containing only sources that observed
+// at least one individual, along with the indices of the kept sources.
+// Stratified estimation produces strata in which some sources are empty;
+// keeping them would make the design singular.
+func (tb *Table) DropEmptySources() (*Table, []int) {
+	var keep []int
+	for i := 0; i < tb.T; i++ {
+		if tb.SourceTotal(i) > 0 {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == tb.T {
+		return tb, keep
+	}
+	out := NewTable(max(len(keep), 1))
+	if tb.Names != nil {
+		out.Names = make([]string, 0, len(keep))
+		for _, i := range keep {
+			out.Names = append(out.Names, tb.Names[i])
+		}
+	}
+	for s := 1; s < len(tb.Counts); s++ {
+		if tb.Counts[s] == 0 {
+			continue
+		}
+		var ns int
+		for ni, oi := range keep {
+			if s&(1<<uint(oi)) != 0 {
+				ns |= 1 << uint(ni)
+			}
+		}
+		out.Counts[ns] += tb.Counts[s]
+	}
+	return out, keep
+}
+
+// String renders a compact summary for debugging.
+func (tb *Table) String() string {
+	return fmt.Sprintf("Table{t=%d, observed=%d, cells=%d}", tb.T, tb.Observed(), len(tb.Counts)-1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ghosts/internal/ipset"
+	"ghosts/internal/ipv4"
+	"ghosts/internal/rng"
+)
+
+// expectedTable builds a table from exact expected counts for independent
+// sources: z_s = N · Π p_i^{s_i} (1−p_i)^{1−s_i}, rounded.
+func expectedTable(n float64, probs []float64) *Table {
+	t := len(probs)
+	tb := NewTable(t)
+	for s := 1; s < 1<<uint(t); s++ {
+		p := 1.0
+		for i := 0; i < t; i++ {
+			if s&(1<<uint(i)) != 0 {
+				p *= probs[i]
+			} else {
+				p *= 1 - probs[i]
+			}
+		}
+		tb.Counts[s] = int64(n*p + 0.5)
+	}
+	return tb
+}
+
+// sampleTable simulates N individuals captured independently by each source
+// with the given probabilities, optionally with two latent classes of
+// individuals having different capture probabilities (heterogeneity, which
+// induces apparent source dependence).
+func sampleTable(r *rng.RNG, n int, probs []float64, hetero []float64, heteroFrac float64) *Table {
+	t := len(probs)
+	tb := NewTable(t)
+	for i := 0; i < n; i++ {
+		p := probs
+		if hetero != nil && r.Float64() < heteroFrac {
+			p = hetero
+		}
+		mask := 0
+		for j := 0; j < t; j++ {
+			if r.Bernoulli(p[j]) {
+				mask |= 1 << uint(j)
+			}
+		}
+		if mask != 0 {
+			tb.Counts[mask]++
+		}
+	}
+	return tb
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable(3)
+	tb.Counts[0b001] = 10
+	tb.Counts[0b011] = 5
+	tb.Counts[0b111] = 2
+	if got := tb.Observed(); got != 17 {
+		t.Errorf("Observed = %d, want 17", got)
+	}
+	if got := tb.SourceTotal(0); got != 17 {
+		t.Errorf("SourceTotal(0) = %d, want 17", got)
+	}
+	if got := tb.SourceTotal(1); got != 7 {
+		t.Errorf("SourceTotal(1) = %d, want 7", got)
+	}
+	if got := tb.SourceTotal(2); got != 2 {
+		t.Errorf("SourceTotal(2) = %d, want 2", got)
+	}
+	if got := tb.PairOverlap(0, 1); got != 7 {
+		t.Errorf("PairOverlap(0,1) = %d, want 7", got)
+	}
+	if got := tb.PairOverlap(1, 2); got != 2 {
+		t.Errorf("PairOverlap(1,2) = %d, want 2", got)
+	}
+	if got := tb.CapturedExactly(1); got != 10 {
+		t.Errorf("CapturedExactly(1) = %d, want 10", got)
+	}
+	if got := tb.CapturedExactly(2); got != 5 {
+		t.Errorf("CapturedExactly(2) = %d, want 5", got)
+	}
+	if got := tb.CapturedExactly(3); got != 2 {
+		t.Errorf("CapturedExactly(3) = %d, want 2", got)
+	}
+	if got := tb.MinPositive(); got != 2 {
+		t.Errorf("MinPositive = %d, want 2", got)
+	}
+}
+
+func TestTableFromSets(t *testing.T) {
+	a, b := ipset.New(), ipset.New()
+	a.Add(ipv4.MustParseAddr("1.2.3.4"))
+	a.Add(ipv4.MustParseAddr("1.2.3.5"))
+	b.Add(ipv4.MustParseAddr("1.2.3.5"))
+	b.Add(ipv4.MustParseAddr("9.9.9.9"))
+	tb := TableFromSets([]*ipset.Set{a, b}, []string{"A", "B"})
+	if tb.Counts[0b01] != 1 || tb.Counts[0b10] != 1 || tb.Counts[0b11] != 1 {
+		t.Fatalf("counts = %v", tb.Counts)
+	}
+	if tb.Observed() != 3 {
+		t.Fatalf("Observed = %d", tb.Observed())
+	}
+}
+
+func TestDropEmptySources(t *testing.T) {
+	tb := NewTable(3)
+	tb.Names = []string{"A", "B", "C"}
+	tb.Counts[0b001] = 4
+	tb.Counts[0b101] = 3 // sources 0 and 2
+	dropped, keep := tb.DropEmptySources()
+	if len(keep) != 2 || keep[0] != 0 || keep[1] != 2 {
+		t.Fatalf("keep = %v", keep)
+	}
+	if dropped.T != 2 {
+		t.Fatalf("T = %d", dropped.T)
+	}
+	if dropped.Counts[0b01] != 4 || dropped.Counts[0b11] != 3 {
+		t.Fatalf("remapped counts = %v", dropped.Counts)
+	}
+	if dropped.Names[0] != "A" || dropped.Names[1] != "C" {
+		t.Fatalf("names = %v", dropped.Names)
+	}
+	// No empty sources: same table returned.
+	same, keep2 := dropped.DropEmptySources()
+	if same != dropped || len(keep2) != 2 {
+		t.Fatal("DropEmptySources should be identity when nothing to drop")
+	}
+}
+
+func TestNewTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTable(0) should panic")
+		}
+	}()
+	NewTable(0)
+}
+
+// Property: with exactly two sources the log-linear estimate coincides
+// with Lincoln-Petersen (the saturated-minus-u12 model is L-P).
+func TestTwoSourceLLMEqualsLP(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed%1000 + 1)
+		p1 := 0.15 + 0.5*r.Float64()
+		p2 := 0.15 + 0.5*r.Float64()
+		tb := sampleTable(r, 20000+r.Intn(30000), []float64{p1, p2}, nil, 0)
+		if tb.PairOverlap(0, 1) == 0 {
+			return true
+		}
+		fit, err := FitModel(tb, IndependenceModel(2), math.Inf(1), 1)
+		if err != nil {
+			return false
+		}
+		lp := LincolnPetersenPair(tb, 0, 1)
+		return math.Abs(fit.N-lp)/lp < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package crossval implements the paper's validation harness (§5): with k
+// sources, each source i in turn is treated as the "universe" of
+// individuals; the other k−1 sources, restricted to i's members, become
+// the CR samples, and the estimator predicts how many of i's members none
+// of them saw. Since that number is known exactly, the prediction error is
+// measurable — this drives the model-selection comparison of Table 3 and
+// the per-source panels of Figure 3.
+package crossval
+
+import (
+	"math"
+
+	"ghosts/internal/core"
+	"ghosts/internal/ipset"
+	"ghosts/internal/sources"
+)
+
+// SourceResult is the outcome of one leave-one-source-as-universe run.
+type SourceResult struct {
+	Name  sources.Name
+	Truth int64 // |universe| — the true population
+	// ObsPing is |universe ∩ IPING| (Figure 3's "Observed ping").
+	ObsPing int64
+	// ObsAll is the number of universe members seen by any other source
+	// (Figure 3's "Observed all").
+	ObsAll int64
+	// Est is the CR estimate of the universe size (ObsAll + Ẑ₀).
+	Est    float64
+	Lo, Hi float64 // profile-likelihood range (0 when not computed)
+}
+
+// Error returns the estimation error Est − Truth.
+func (r SourceResult) Error() float64 { return r.Est - float64(r.Truth) }
+
+// Run performs the leave-one-out cross-validation over the named sets.
+// withCI additionally computes profile intervals (Figure 3); it is the
+// expensive part, so Table 3's sweeps leave it off.
+func Run(names []sources.Name, sets []*ipset.Set, est *core.Estimator, withCI bool) []SourceResult {
+	k := len(sets)
+	out := make([]SourceResult, 0, k)
+	pingIdx := -1
+	for i, n := range names {
+		if n == sources.IPING {
+			pingIdx = i
+		}
+	}
+	for i := 0; i < k; i++ {
+		uni := sets[i]
+		if uni.Len() == 0 {
+			continue
+		}
+		restricted := make([]*ipset.Set, 0, k-1)
+		for j := 0; j < k; j++ {
+			if j != i {
+				restricted = append(restricted, ipset.Intersect(sets[j], uni))
+			}
+		}
+		tb := core.TableFromSets(restricted, nil)
+		res := SourceResult{Name: names[i], Truth: int64(uni.Len())}
+		if pingIdx >= 0 && pingIdx != i {
+			res.ObsPing = int64(ipset.IntersectCount(sets[pingIdx], uni))
+		}
+		res.ObsAll = tb.Observed()
+		// The universe size itself bounds the population: the estimator's
+		// truncation limit is min(global limit, |universe|).
+		sub := *est
+		if sub.Limit <= 0 || sub.Limit > float64(uni.Len()) {
+			sub.Limit = float64(uni.Len())
+		}
+		var r *core.Result
+		var err error
+		if withCI {
+			r, err = sub.Estimate(tb)
+		} else {
+			r, err = sub.EstimatePoint(tb)
+		}
+		if err != nil {
+			// Degenerate table (e.g. one non-empty co-source): fall back
+			// to the observed count.
+			res.Est = float64(res.ObsAll)
+		} else {
+			res.Est = r.N
+			res.Lo, res.Hi = r.Interval.Lo, r.Interval.Hi
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// Errors aggregates RMSE and MAE over all results (Table 3 aggregates over
+// sources and time windows).
+func Errors(results []SourceResult) (rmse, mae float64) {
+	if len(results) == 0 {
+		return 0, 0
+	}
+	var se, ae float64
+	for _, r := range results {
+		e := r.Error()
+		se += e * e
+		ae += math.Abs(e)
+	}
+	n := float64(len(results))
+	return math.Sqrt(se / n), ae / n
+}

@@ -1,0 +1,120 @@
+package crossval
+
+import (
+	"math"
+	"testing"
+
+	"ghosts/internal/core"
+	"ghosts/internal/dataset"
+	"ghosts/internal/sources"
+	"ghosts/internal/universe"
+	"ghosts/internal/windows"
+)
+
+var cachedBundle *dataset.Bundle
+
+func bundle(t *testing.T) *dataset.Bundle {
+	t.Helper()
+	if cachedBundle == nil {
+		u := universe.New(universe.TinyConfig(44))
+		suite := sources.NewSuite(u, 7)
+		cachedBundle = dataset.Collect(u, suite, windows.Paper()[9], dataset.DefaultOptions())
+	}
+	return cachedBundle
+}
+
+func TestRunBasics(t *testing.T) {
+	b := bundle(t)
+	est := core.NewEstimator(core.BIC, core.Adaptive1000, math.Inf(1))
+	est.MaxTerms = 3
+	est.MaxOrder = 2
+	results := Run(b.Names, b.Sets, est, false)
+	if len(results) != len(b.Sets) {
+		t.Fatalf("results for %d of %d sources", len(results), len(b.Sets))
+	}
+	for _, r := range results {
+		if r.Truth <= 0 {
+			t.Fatalf("%s: no truth", r.Name)
+		}
+		if r.ObsAll <= 0 || r.ObsAll > r.Truth {
+			t.Fatalf("%s: observed %d outside (0, %d]", r.Name, r.ObsAll, r.Truth)
+		}
+		if r.Est < float64(r.ObsAll) {
+			t.Fatalf("%s: estimate %f below observed %d", r.Name, r.Est, r.ObsAll)
+		}
+		if r.Est > float64(r.Truth)*1.6 {
+			t.Errorf("%s: estimate %.0f wildly above truth %d", r.Name, r.Est, r.Truth)
+		}
+		if r.Name != sources.IPING && r.ObsPing <= 0 {
+			t.Errorf("%s: no ping overlap recorded", r.Name)
+		}
+	}
+}
+
+func TestCRBeatsObservedOnAverage(t *testing.T) {
+	// The headline validation claim (§5): CR estimates are closer to the
+	// truth than just counting the observed addresses.
+	b := bundle(t)
+	est := core.NewEstimator(core.BIC, core.Adaptive1000, math.Inf(1))
+	est.MaxTerms = 3
+	est.MaxOrder = 2
+	results := Run(b.Names, b.Sets, est, false)
+	var crErr, obsErr float64
+	for _, r := range results {
+		crErr += math.Abs(r.Error())
+		obsErr += math.Abs(float64(r.ObsAll) - float64(r.Truth))
+	}
+	if crErr >= obsErr {
+		t.Fatalf("CR MAE %.0f should beat observed-count MAE %.0f", crErr, obsErr)
+	}
+}
+
+func TestPingUndercountsInCV(t *testing.T) {
+	// Figure 3: only 50–60% of each source's addresses are in IPING.
+	b := bundle(t)
+	est := core.NewEstimator(core.AIC, core.Fixed1, math.Inf(1))
+	est.MaxTerms = 2
+	results := Run(b.Names, b.Sets, est, false)
+	for _, r := range results {
+		if r.Name == sources.IPING || r.Name == sources.TPING {
+			continue
+		}
+		frac := float64(r.ObsPing) / float64(r.Truth)
+		if frac > 0.85 {
+			t.Errorf("%s: ping coverage %.2f too high", r.Name, frac)
+		}
+	}
+}
+
+func TestRunWithCI(t *testing.T) {
+	b := bundle(t)
+	est := core.NewEstimator(core.BIC, core.Adaptive1000, math.Inf(1))
+	est.MaxTerms = 2
+	est.MaxOrder = 2
+	// CI on a reduced source list to keep the test quick.
+	names := b.Names[:4]
+	sets := b.Sets[:4]
+	results := Run(names, sets, est, true)
+	for _, r := range results {
+		if r.Lo == 0 && r.Hi == 0 {
+			t.Fatalf("%s: no interval computed", r.Name)
+		}
+		if r.Lo > r.Est || r.Hi < r.Est {
+			t.Fatalf("%s: interval [%v,%v] excludes estimate %v", r.Name, r.Lo, r.Hi, r.Est)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	results := []SourceResult{
+		{Truth: 100, Est: 110},
+		{Truth: 100, Est: 90},
+	}
+	rmse, mae := Errors(results)
+	if rmse != 10 || mae != 10 {
+		t.Fatalf("rmse=%v mae=%v, want 10, 10", rmse, mae)
+	}
+	if r, m := Errors(nil); r != 0 || m != 0 {
+		t.Fatal("empty errors must be 0")
+	}
+}

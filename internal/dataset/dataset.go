@@ -1,0 +1,131 @@
+// Package dataset assembles the per-window data bundle the estimators
+// consume: the aggregated routed table (§4.4), the nine source
+// observations, and — unless disabled — the spoof-filtered versions of the
+// NetFlow sources (§4.5). It is the single place where the paper's
+// preprocessing pipeline is wired together, shared by the experiments, the
+// cross-validation harness and the CLI.
+package dataset
+
+import (
+	"ghosts/internal/bgp"
+	"ghosts/internal/ipset"
+	"ghosts/internal/sources"
+	"ghosts/internal/spoof"
+	"ghosts/internal/trie"
+	"ghosts/internal/universe"
+	"ghosts/internal/windows"
+)
+
+// Options configure bundle collection.
+type Options struct {
+	// SpoofFilter applies §4.5 to SWIN and CALT (the default pipeline).
+	SpoofFilter bool
+	// DropNetflow removes SWIN and CALT entirely (Figure 2's
+	// "No_SWINCALT" series).
+	DropNetflow bool
+	// SpoofScale forwards to sources.Suite (0 keeps the suite default 1).
+	SpoofScale float64
+}
+
+// DefaultOptions is the paper's main pipeline.
+func DefaultOptions() Options { return Options{SpoofFilter: true} }
+
+// Bundle is the assembled per-window dataset.
+type Bundle struct {
+	Window      windows.Window
+	Routed      *trie.Trie
+	RoutedAddrs uint64
+	Routed24    uint64
+	// Names and Sets are the post-preprocessing observations, parallel
+	// slices in canonical source order (minus dropped sources).
+	Names []sources.Name
+	Sets  []*ipset.Set
+	// SpoofStats reports the filter's work per NetFlow source (empty when
+	// filtering was disabled).
+	SpoofStats map[sources.Name]spoof.Stats
+}
+
+// Collect builds the bundle for one window.
+func Collect(u *universe.Universe, suite *sources.Suite, w windows.Window, opt Options) *Bundle {
+	if opt.SpoofScale != 0 {
+		s := *suite
+		s.SpoofScale = opt.SpoofScale
+		suite = &s
+	}
+	rt := bgp.Aggregate(u, w, suite.Seed^0xb6b6)
+	b := &Bundle{
+		Window:     w,
+		Routed:     rt,
+		SpoofStats: make(map[sources.Name]spoof.Stats),
+	}
+	b.RoutedAddrs, b.Routed24 = bgp.RoutedCounts(u, w)
+
+	obs := make(map[sources.Name]*ipset.Set, 9)
+	for _, o := range suite.CollectAll(w, rt) {
+		obs[o.Name] = o.Addrs
+	}
+	if opt.SpoofFilter && !opt.DropNetflow {
+		spoofFree := ipset.New()
+		for _, n := range []sources.Name{sources.WIKI, sources.WEB, sources.MLAB, sources.GAME} {
+			spoofFree.AddSet(obs[n])
+		}
+		byteRef := spoofFree.Clone()
+		for _, n := range []sources.Name{sources.SPAM, sources.IPING, sources.TPING} {
+			byteRef.AddSet(obs[n])
+		}
+		f := spoof.New(spoofFree, byteRef, u.EmptyBlocks(), suite.Seed^0x5f5f)
+		for _, n := range []sources.Name{sources.SWIN, sources.CALT} {
+			clean, st := f.Clean(obs[n])
+			obs[n] = clean
+			b.SpoofStats[n] = st
+		}
+	}
+	for _, n := range sources.All() {
+		if opt.DropNetflow && (n == sources.SWIN || n == sources.CALT) {
+			continue
+		}
+		if obs[n].Len() == 0 {
+			continue // source not yet collecting in this window
+		}
+		b.Names = append(b.Names, n)
+		b.Sets = append(b.Sets, obs[n])
+	}
+	return b
+}
+
+// Union returns the union of all observation sets.
+func (b *Bundle) Union() *ipset.Set {
+	out := ipset.New()
+	for _, s := range b.Sets {
+		out.AddSet(s)
+	}
+	return out
+}
+
+// Sets24 projects every source onto /24 subnets.
+func (b *Bundle) Sets24() []*ipset.Set {
+	out := make([]*ipset.Set, len(b.Sets))
+	for i, s := range b.Sets {
+		out[i] = s.Slash24Set()
+	}
+	return out
+}
+
+// Source returns the observation set of a source, or nil if absent.
+func (b *Bundle) Source(n sources.Name) *ipset.Set {
+	for i, name := range b.Names {
+		if name == n {
+			return b.Sets[i]
+		}
+	}
+	return nil
+}
+
+// NameStrings renders the source names (for core.Table labels).
+func (b *Bundle) NameStrings() []string {
+	out := make([]string, len(b.Names))
+	for i, n := range b.Names {
+		out[i] = string(n)
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+// Package experiments wires the full pipeline together and reproduces
+// every table and figure of the paper's evaluation: simulate the universe,
+// collect the nine sources per window, preprocess (routed filtering, spoof
+// removal), estimate with log-linear CR, and render paper-style tables and
+// series. Each experiment has a builder (Table2..Table6, Figure2..Figure12)
+// returning both typed data and a renderable report.
+package experiments
+
+import (
+	"math"
+	"sync"
+
+	"ghosts/internal/core"
+	"ghosts/internal/dataset"
+	"ghosts/internal/ipset"
+	"ghosts/internal/sources"
+	"ghosts/internal/strata"
+	"ghosts/internal/universe"
+	"ghosts/internal/windows"
+)
+
+// Env is a lazily-evaluated experiment environment. All collected bundles
+// and window estimates are cached, so experiments sharing inputs (most of
+// them) pay for the pipeline once.
+type Env struct {
+	U     *universe.Universe
+	Suite *sources.Suite
+	Win   []windows.Window
+	// Estimator configuration (the paper's defaults, §5.1).
+	IC       core.IC
+	Divisor  core.DivisorMode
+	MaxTerms int
+	MaxOrder int
+
+	mu         sync.Mutex
+	bundles    map[bundleKey]*dataset.Bundle
+	estimates  map[estKey][]WindowEstimate
+	stratCache map[stratKey][]map[string]float64
+}
+
+type stratKey struct {
+	k   strata.Key
+	s24 bool
+}
+
+type bundleKey struct {
+	win int
+	opt dataset.Options
+}
+
+type estKey struct {
+	opt    dataset.Options
+	s24    bool
+	withCI bool
+}
+
+// New builds an environment over a fresh universe.
+func New(cfg universe.Config, seed uint64) *Env {
+	u := universe.New(cfg)
+	return &Env{
+		U:          u,
+		Suite:      sources.NewSuite(u, seed),
+		Win:        windows.Paper(),
+		IC:         core.BIC,
+		Divisor:    core.Adaptive1000,
+		MaxTerms:   8,
+		MaxOrder:   2,
+		bundles:    make(map[bundleKey]*dataset.Bundle),
+		estimates:  make(map[estKey][]WindowEstimate),
+		stratCache: make(map[stratKey][]map[string]float64),
+	}
+}
+
+// Estimator returns the configured estimator with the given truncation
+// limit.
+func (e *Env) Estimator(limit float64) *core.Estimator {
+	est := core.NewEstimator(e.IC, e.Divisor, limit)
+	est.MaxTerms = e.MaxTerms
+	est.MaxOrder = e.MaxOrder
+	return est
+}
+
+// Bundle collects (or returns the cached) dataset bundle for window i.
+func (e *Env) Bundle(i int, opt dataset.Options) *dataset.Bundle {
+	key := bundleKey{i, opt}
+	e.mu.Lock()
+	b, ok := e.bundles[key]
+	e.mu.Unlock()
+	if ok {
+		return b
+	}
+	b = dataset.Collect(e.U, e.Suite, e.Win[i], opt)
+	e.mu.Lock()
+	e.bundles[key] = b
+	e.mu.Unlock()
+	return b
+}
+
+// WindowEstimate is the per-window outcome of the main pipeline.
+type WindowEstimate struct {
+	Window   windows.Window
+	Routed   float64 // routed addresses (or /24s)
+	Observed float64 // union of all sources
+	Ping     float64 // IPING alone
+	Est      float64 // CR point estimate
+	Lo, Hi   float64 // profile interval (0 when not computed)
+}
+
+// Estimates runs the default pipeline over every window, estimating either
+// addresses or /24 subnets.
+func (e *Env) Estimates(opt dataset.Options, s24 bool, withCI bool) []WindowEstimate {
+	key := estKey{opt, s24, withCI}
+	e.mu.Lock()
+	cached, ok := e.estimates[key]
+	e.mu.Unlock()
+	if ok {
+		return cached
+	}
+	out := make([]WindowEstimate, 0, len(e.Win))
+	for i := range e.Win {
+		b := e.Bundle(i, opt)
+		we := WindowEstimate{Window: b.Window}
+		sets := b.Sets
+		limit := float64(b.RoutedAddrs)
+		if s24 {
+			sets = b.Sets24()
+			limit = float64(b.Routed24)
+		}
+		we.Routed = limit
+		union := 0
+		{
+			u := sets[0].Clone()
+			for _, s := range sets[1:] {
+				u.AddSet(s)
+			}
+			union = u.Len()
+		}
+		we.Observed = float64(union)
+		if ping := b.Source(sources.IPING); ping != nil {
+			if s24 {
+				we.Ping = float64(ping.Slash24Len())
+			} else {
+				we.Ping = float64(ping.Len())
+			}
+		}
+		tb := core.TableFromSets(sets, b.NameStrings())
+		est := e.Estimator(limit)
+		var res *core.Result
+		var err error
+		if withCI {
+			res, err = est.Estimate(tb)
+		} else {
+			res, err = est.EstimatePoint(tb)
+		}
+		if err == nil {
+			we.Est = res.N
+			we.Lo, we.Hi = res.Interval.Lo, res.Interval.Hi
+		} else {
+			we.Est = we.Observed
+		}
+		out = append(out, we)
+	}
+	e.mu.Lock()
+	e.estimates[key] = out
+	e.mu.Unlock()
+	return out
+}
+
+// LinearGrowth fits per-year growth to the Est series by least squares
+// over window end times.
+func LinearGrowth(es []WindowEstimate, pick func(WindowEstimate) float64) float64 {
+	if len(es) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(es))
+	for _, w := range es {
+		x := universe.YearOf(w.Window.End)
+		y := pick(w)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// StratSeries returns, for every window, the per-stratum estimated totals
+// under the given key (addresses, or /24 subnets when s24 is set). Results
+// are cached: Figure 6 and Table 6 share the RIR series.
+func (e *Env) StratSeries(k strata.Key, s24 bool) []map[string]float64 {
+	ck := stratKey{k, s24}
+	e.mu.Lock()
+	cached, ok := e.stratCache[ck]
+	e.mu.Unlock()
+	if ok {
+		return cached
+	}
+	out := make([]map[string]float64, len(e.Win))
+	for i := range e.Win {
+		b := e.Bundle(i, dataset.DefaultOptions())
+		sets := b.Sets
+		if s24 {
+			sets = b.Sets24()
+		}
+		idxs := e.U.RoutedAllocs(b.Window.End)
+		sizes := strata.RoutedSizes(e.U, k, idxs)
+		split := strata.Split(e.U, sets, k)
+		m := make(map[string]float64, len(split))
+		for label, group := range split {
+			tb := core.TableFromSets(group, nil)
+			obs := tb.Observed()
+			if obs == 0 {
+				continue
+			}
+			if obs < MinStratum {
+				m[label] = float64(obs)
+				continue
+			}
+			limit := math.Inf(1)
+			if sz, ok := sizes[label]; ok {
+				if s24 {
+					limit = float64(sz.Slash24)
+				} else {
+					limit = float64(sz.Addrs)
+				}
+			}
+			res, err := e.Estimator(limit).EstimatePoint(tb)
+			if err != nil {
+				m[label] = float64(obs)
+			} else {
+				m[label] = res.N
+			}
+		}
+		out[i] = m
+	}
+	e.mu.Lock()
+	e.stratCache[ck] = out
+	e.mu.Unlock()
+	return out
+}
+
+// StratObservedSeries returns per-window observed (not estimated) totals
+// per stratum, for the "Observed" halves of Figures 7–9.
+func (e *Env) StratObservedSeries(k strata.Key, s24 bool) []map[string]float64 {
+	out := make([]map[string]float64, len(e.Win))
+	for i := range e.Win {
+		b := e.Bundle(i, dataset.DefaultOptions())
+		sets := b.Sets
+		if s24 {
+			sets = b.Sets24()
+		}
+		split := strata.Split(e.U, sets, k)
+		m := make(map[string]float64, len(split))
+		for label, group := range split {
+			u := ipset.New()
+			for _, s := range group {
+				u.AddSet(s)
+			}
+			if u.Len() > 0 {
+				m[label] = float64(u.Len())
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// EstimateSets runs a point estimate on arbitrary parallel observation
+// sets with the given truncation limit (+Inf allowed), falling back to the
+// observed union size when the fit degenerates.
+func (e *Env) EstimateSets(sets []*ipset.Set, limit float64) (est float64, observed int64) {
+	tb := core.TableFromSets(sets, nil)
+	observed = tb.Observed()
+	if observed == 0 {
+		return 0, 0
+	}
+	if limit <= 0 {
+		limit = math.Inf(1)
+	}
+	res, err := e.Estimator(limit).EstimatePoint(tb)
+	if err != nil {
+		return float64(observed), observed
+	}
+	return res.N, observed
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ghosts/internal/dhcp"
+	"ghosts/internal/ipv4"
+	"ghosts/internal/report"
+)
+
+// PoolsData is the lease-level ablation of §4.6's allocation-policy
+// argument: the same subscriber workload against a lowest-free pool and a
+// uniform pool, tracking what a long observation window accumulates versus
+// the true peak simultaneous usage.
+type PoolsData struct {
+	Months      []int
+	LowestEver  []int
+	UniformEver []int
+	LowestPeak  int
+	UniformPeak int
+	Capacity    int
+}
+
+// Pools runs a year of hourly lease churn against a /24 pool under both
+// policies. ~18% of the pool's capacity is online at any instant.
+func Pools(e *Env) *PoolsData {
+	const (
+		clients   = 46
+		months    = 12
+		stepsPerM = 730 // hourly
+	)
+	start := time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC)
+	run := func(policy dhcp.Policy) (*dhcp.Pool, []int) {
+		p := dhcp.NewPool(ipv4.MustParsePrefix("100.64.0.0/24"), policy, e.Suite.Seed^uint64(policy))
+		series := p.Churn(start, months*stepsPerM, time.Hour, clients, 0.5, 4*time.Hour)
+		monthly := make([]int, 0, months)
+		for m := 1; m <= months; m++ {
+			monthly = append(monthly, series[m*stepsPerM-1])
+		}
+		return p, monthly
+	}
+	low, lowMonthly := run(dhcp.LowestFree)
+	uni, uniMonthly := run(dhcp.Uniform)
+	d := &PoolsData{
+		LowestEver:  lowMonthly,
+		UniformEver: uniMonthly,
+		LowestPeak:  low.Peak(),
+		UniformPeak: uni.Peak(),
+		Capacity:    low.Capacity(),
+	}
+	for m := 1; m <= months; m++ {
+		d.Months = append(d.Months, m)
+	}
+	return d
+}
+
+// Render writes the monthly accumulation table and the §4.6 conclusion.
+func (d *PoolsData) Render(w io.Writer) {
+	t := report.Table{
+		Title:   "§4.6 ablation: addresses a 12-month window observes from one /24 pool",
+		Headers: []string{"Month", "Lowest-free", "Uniform"},
+	}
+	for i, m := range d.Months {
+		t.AddRow(fmt.Sprintf("%d", m),
+			report.Group(int64(d.LowestEver[i])), report.Group(int64(d.UniformEver[i])))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "Peak simultaneous usage: %d (lowest-free) / %d (uniform) of %d capacity\n",
+		d.LowestPeak, d.UniformPeak, d.Capacity)
+	fmt.Fprintf(w, "Lowest-free pools reveal only the high watermark; uniform pools reveal the\n")
+	fmt.Fprintf(w, "entire pool over a long window — the paper's measurements suggest uniform\n")
+	fmt.Fprintf(w, "assignment, so 12-month windows count pool addresses as de facto used (§4.6).\n")
+}

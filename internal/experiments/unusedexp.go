@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ghosts/internal/dataset"
+	"ghosts/internal/ipset"
+	"ghosts/internal/report"
+	"ghosts/internal/sources"
+	"ghosts/internal/unused"
+)
+
+// Figure12Data is the unused-space prediction (§7, Figure 12): addresses
+// held in vacant prefixes per size, before (observed) and after (estimated)
+// distributing the CR ghosts, plus the consistency checks of §7.2.
+type Figure12Data struct {
+	WindowLabel string
+	// ObservedBySize and EstimatedBySize index addresses in vacant blocks
+	// by prefix length 0..32.
+	ObservedBySize  [33]float64
+	EstimatedBySize [33]float64
+	// Ghosts distributed (the CR-estimated unobserved addresses).
+	Ghosts float64
+	// Model24 is the /24-equivalent of the blocks the model filled —
+	// §7.2 compares this against the independent LLM /24 estimate.
+	Model24 float64
+	// LLM24 is the log-linear estimate of unseen /24 subnets.
+	LLM24 float64
+	// Ratios are the fitted f_i.
+	Ratios unused.Ratios
+	// FIB counts: routable (/24 or larger) vacant prefixes before and
+	// after filling (§7.2.1).
+	FIBBefore, FIBAfter int64
+}
+
+// Figure12 runs the §7 model on the final window, using all sources except
+// SWIN and CALT (as the paper does).
+func Figure12(e *Env) *Figure12Data {
+	last := len(e.Win) - 1
+	opt := dataset.Options{DropNetflow: true}
+	b := e.Bundle(last, opt)
+	space := e.U.Space()
+
+	// Union of all (non-NetFlow) sources.
+	union := b.Union()
+	xObs := unused.FreeVector(union, space)
+
+	// f_i estimation: Δ ∈ {IPING, GAME, WEB, WIKI}, S = union of the rest.
+	deltas := []sources.Name{sources.IPING, sources.GAME, sources.WEB, sources.WIKI}
+	var ratios []unused.Ratios
+	for _, dn := range deltas {
+		ds := b.Source(dn)
+		if ds == nil {
+			continue
+		}
+		base := ipset.New()
+		for i, n := range b.Names {
+			if n != dn {
+				base.AddSet(b.Sets[i])
+			}
+		}
+		merged := ipset.Union(base, ds)
+		ratios = append(ratios, unused.EstimateRatios(
+			unused.FreeVector(base, space),
+			unused.FreeVector(merged, space),
+		))
+	}
+	f := unused.AverageRatios(ratios)
+
+	// Ghosts from the no-NetFlow CR estimate.
+	es := e.Estimates(opt, false, false)
+	we := es[last]
+	ghosts := we.Est - we.Observed
+	if ghosts < 0 {
+		ghosts = 0
+	}
+	xEst := unused.DistributeGhosts(xObs, f, int64(ghosts), e.Suite.Seed^0x12)
+
+	es24 := e.Estimates(opt, true, false)
+	we24 := es24[last]
+
+	return &Figure12Data{
+		WindowLabel:     b.Window.Label(),
+		ObservedBySize:  xObs.AddressesBySize(),
+		EstimatedBySize: xEst.AddressesBySize(),
+		Ghosts:          ghosts,
+		Model24:         xObs.Slash24s() - xEst.Slash24s(),
+		LLM24:           we24.Est - we24.Observed,
+		Ratios:          f,
+		FIBBefore:       xObs.FIBPrefixes(),
+		FIBAfter:        xEst.FIBPrefixes(),
+	}
+}
+
+// Render writes the per-size table and the consistency checks.
+func (d *Figure12Data) Render(w io.Writer) {
+	t := report.Table{
+		Title:   fmt.Sprintf("Figure 12: addresses in unused prefixes by size (%s)", d.WindowLabel),
+		Headers: []string{"Prefix", "Observed free", "Estimated free"},
+	}
+	for i := 8; i <= 32; i++ {
+		if d.ObservedBySize[i] == 0 && d.EstimatedBySize[i] == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("/%d", i),
+			report.FormatFloat(d.ObservedBySize[i]),
+			report.FormatFloat(d.EstimatedBySize[i]))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "Ghosts distributed: %s addresses\n", report.FormatFloat(d.Ghosts))
+	fmt.Fprintf(w, "Model /24-equivalent filled: %s; independent LLM unseen /24s: %s (§7.2 cross-check)\n",
+		report.FormatFloat(d.Model24), report.FormatFloat(d.LLM24))
+	fmt.Fprintf(w, "Routable vacant prefixes (FIB entries): %s before, %s after filling\n",
+		report.Group(d.FIBBefore), report.Group(d.FIBAfter))
+}

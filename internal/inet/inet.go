@@ -1,0 +1,235 @@
+// Package inet provides the simulated Internet that the census prober
+// drives: a Responder that answers ICMP-echo and TCP-SYN probes with the
+// behaviour of the real network (§4.4 — echo replies, unreachables,
+// SYN/ACKs, firewall RSTs covering whole blocks, silence, loss), and two
+// transports that carry marshalled packets between prober and responder:
+// an in-memory duplex Link and a UDP-over-loopback pair, so the probe path
+// can be exercised both hermetically and over real sockets.
+package inet
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"ghosts/internal/ipv4"
+	"ghosts/internal/rng"
+	"ghosts/internal/universe"
+	"ghosts/internal/wire"
+)
+
+// Responder answers probe packets according to the ground-truth universe.
+// It is safe for concurrent use.
+type Responder struct {
+	U *universe.Universe
+	// Loss is the probability that a probe or its response is lost in the
+	// network (applied once per exchange).
+	Loss float64
+
+	mu  sync.Mutex
+	rnd *rng.RNG
+	// rate limiting state per /24 (§4.1: probers must stay below ICMP/TCP
+	// rate-limit thresholds; we model the threshold side).
+	lastProbe map[uint32]time.Time
+	// MinGap is the per-/24 minimum spacing before rate limiting bites;
+	// zero disables rate limiting.
+	MinGap time.Duration
+}
+
+// NewResponder builds a responder over u with deterministic loss decisions
+// derived from seed.
+func NewResponder(u *universe.Universe, loss float64, seed uint64) *Responder {
+	return &Responder{
+		U:         u,
+		Loss:      loss,
+		rnd:       rng.New(seed),
+		lastProbe: make(map[uint32]time.Time),
+	}
+}
+
+// Respond computes the network's response to a probe sent at simulated time
+// now (which selects the ground-truth population). It returns nil for
+// silence (filtered, unused, lost or rate limited).
+func (r *Responder) Respond(probe *wire.Packet, now time.Time) *wire.Packet {
+	if probe == nil {
+		return nil
+	}
+	r.mu.Lock()
+	lost := r.rnd.Bernoulli(r.Loss)
+	limited := false
+	if r.MinGap > 0 {
+		key := probe.IP.Dst.Slash24Index()
+		if last, ok := r.lastProbe[key]; ok && now.Sub(last) < r.MinGap {
+			limited = true
+		}
+		r.lastProbe[key] = now
+	}
+	r.mu.Unlock()
+	if lost || limited {
+		return nil
+	}
+	dst := probe.IP.Dst
+	used := r.U.IsUsedAt(dst, now)
+	switch {
+	case probe.ICMP != nil && probe.ICMP.Type == wire.ICMPEchoRequest:
+		return r.respondEcho(dst, used, probe)
+	case probe.TCP != nil && probe.TCP.Flags&wire.TCPFlagSYN != 0:
+		return r.respondSYN(dst, used, probe)
+	}
+	return nil
+}
+
+func (r *Responder) respondEcho(dst ipv4.Addr, used bool, probe *wire.Packet) *wire.Packet {
+	if used {
+		if r.U.RespondsICMP(dst) {
+			return wire.EchoReply(probe)
+		}
+		if r.U.RespondsUnreachable(dst) {
+			// Host is up but the target protocol is administratively
+			// rejected; §4.4 counts protocol-unreachables as used.
+			return wire.ICMPError(dst, probe, wire.ICMPDestUnreachable, wire.CodeProtoUnreachable)
+		}
+		return nil
+	}
+	// Unused address: occasionally an upstream router reports
+	// host-unreachable — the prober must NOT count these (§4.4 ignores
+	// other ICMP errors).
+	if routerNoise(r.U, dst) {
+		router := (dst & 0xffffff00) | 1
+		return wire.ICMPError(router, probe, wire.ICMPDestUnreachable, wire.CodeHostUnreachable)
+	}
+	return nil
+}
+
+func (r *Responder) respondSYN(dst ipv4.Addr, used bool, probe *wire.Packet) *wire.Packet {
+	// Firewalls in front of whole blocks answer every SYN with RST,
+	// regardless of use — the reason the prober ignores RSTs (§4.4).
+	if r.U.FirewallRSTBlock(dst) {
+		return wire.RST(probe)
+	}
+	if used {
+		if r.U.RespondsTCPPort(dst, probe.TCP.DstPort) {
+			return wire.SYNACK(probe, 0x5EED5EED)
+		}
+		if r.U.RespondsICMP(dst) {
+			// Host is up, port closed: genuine RST. Still ignored by the
+			// prober, which is exactly the paper's conservative choice.
+			return wire.RST(probe)
+		}
+		if r.U.RespondsUnreachable(dst) {
+			return wire.ICMPError(dst, probe, wire.ICMPDestUnreachable, wire.CodePortUnreachable)
+		}
+	}
+	return nil
+}
+
+// routerNoise deterministically marks ~2% of unused addresses as eliciting
+// upstream host-unreachables.
+func routerNoise(u *universe.Universe, a ipv4.Addr) bool {
+	// Reuse the universe's stable activity hash as an independent stream.
+	return u.Activity(a^0x5a5a5a5a) < 0.02
+}
+
+// Transport carries marshalled packets between a prober and the network.
+type Transport interface {
+	// Send transmits one packet.
+	Send(b []byte) error
+	// Recv returns the next packet, blocking up to the given timeout. It
+	// returns ErrTimeout when nothing arrived in time and ErrClosed once
+	// the transport is closed and drained.
+	Recv(timeout time.Duration) ([]byte, error)
+	Close() error
+}
+
+// ErrClosed is returned once a transport is closed.
+var ErrClosed = errors.New("inet: transport closed")
+
+// ErrTimeout is returned by Recv when no packet arrived within the timeout.
+var ErrTimeout = errors.New("inet: receive timeout")
+
+// link is one direction of an in-memory duplex pipe.
+type chanTransport struct {
+	out    chan<- []byte
+	in     <-chan []byte
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewPair returns the two ends of an in-memory duplex transport with the
+// given queue depth.
+func NewPair(depth int) (Transport, Transport) {
+	if depth < 1 {
+		depth = 64
+	}
+	ab := make(chan []byte, depth)
+	ba := make(chan []byte, depth)
+	closed := make(chan struct{})
+	a := &chanTransport{out: ab, in: ba, closed: closed}
+	b := &chanTransport{out: ba, in: ab, closed: closed}
+	return a, b
+}
+
+func (c *chanTransport) Send(b []byte) error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	cp := append([]byte(nil), b...)
+	select {
+	case c.out <- cp:
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	}
+}
+
+func (c *chanTransport) Recv(timeout time.Duration) ([]byte, error) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case b := <-c.in:
+		return b, nil
+	case <-c.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case b := <-c.in:
+			return b, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-t.C:
+		return nil, ErrTimeout
+	}
+}
+
+func (c *chanTransport) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// Serve runs the responder against the network-facing end of a transport
+// until the transport closes: every received probe is answered (or
+// dropped) under simulated time now(). It is intended to run in its own
+// goroutine.
+func Serve(t Transport, r *Responder, now func() time.Time) {
+	for {
+		b, err := t.Recv(50 * time.Millisecond)
+		if err == ErrTimeout {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		probe, err := wire.Unmarshal(b)
+		if err != nil {
+			continue // malformed packets are dropped, as on the wire
+		}
+		if resp := r.Respond(probe, now()); resp != nil {
+			rb, err := resp.Marshal()
+			if err == nil {
+				_ = t.Send(rb)
+			}
+		}
+	}
+}

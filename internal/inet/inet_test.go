@@ -1,0 +1,308 @@
+package inet
+
+import (
+	"testing"
+	"time"
+
+	"ghosts/internal/ipv4"
+	"ghosts/internal/universe"
+	"ghosts/internal/wire"
+)
+
+func testUniverse() *universe.Universe {
+	return universe.New(universe.TinyConfig(4))
+}
+
+func at() time.Time { return time.Date(2014, 6, 30, 0, 0, 0, 0, time.UTC) }
+
+// pickAddr finds a used address satisfying pred.
+func pickAddr(u *universe.Universe, pred func(ipv4.Addr) bool) (ipv4.Addr, bool) {
+	var found ipv4.Addr
+	ok := false
+	u.UsedAt(at()).Range(func(a ipv4.Addr) bool {
+		if pred(a) {
+			found, ok = a, true
+			return false
+		}
+		return true
+	})
+	return found, ok
+}
+
+func TestRespondEchoUsedResponder(t *testing.T) {
+	u := testUniverse()
+	r := NewResponder(u, 0, 1)
+	a, ok := pickAddr(u, u.RespondsICMP)
+	if !ok {
+		t.Fatal("no ICMP responder in universe")
+	}
+	probe := wire.EchoRequest(ipv4.MustParseAddr("192.0.2.1"), a, 1, 1)
+	resp := r.Respond(probe, at())
+	if resp == nil || resp.ICMP == nil || resp.ICMP.Type != wire.ICMPEchoReply {
+		t.Fatalf("expected echo reply, got %+v", resp)
+	}
+	if resp.IP.Src != a {
+		t.Fatal("reply must come from the target")
+	}
+}
+
+func TestRespondEchoSilentHost(t *testing.T) {
+	u := testUniverse()
+	r := NewResponder(u, 0, 1)
+	a, ok := pickAddr(u, func(x ipv4.Addr) bool {
+		return !u.RespondsICMP(x) && !u.RespondsUnreachable(x)
+	})
+	if !ok {
+		t.Skip("no silent used host found")
+	}
+	probe := wire.EchoRequest(ipv4.MustParseAddr("192.0.2.1"), a, 1, 1)
+	if resp := r.Respond(probe, at()); resp != nil {
+		t.Fatalf("silent host answered: %+v", resp)
+	}
+}
+
+func TestRespondSYN(t *testing.T) {
+	u := testUniverse()
+	r := NewResponder(u, 0, 1)
+	a, ok := pickAddr(u, func(x ipv4.Addr) bool {
+		return u.RespondsTCP80(x) && !u.FirewallRSTBlock(x)
+	})
+	if !ok {
+		t.Fatal("no TCP80 responder in universe")
+	}
+	probe := wire.SYN(ipv4.MustParseAddr("192.0.2.1"), a, 40000, 80, 1)
+	resp := r.Respond(probe, at())
+	if resp == nil || resp.TCP == nil || resp.TCP.Flags != wire.TCPFlagSYN|wire.TCPFlagACK {
+		t.Fatalf("expected SYN/ACK, got %+v", resp)
+	}
+	if resp.TCP.Ack != 2 {
+		t.Fatalf("ack = %d, want seq+1", resp.TCP.Ack)
+	}
+}
+
+func TestRespondSYNFirewallRST(t *testing.T) {
+	u := testUniverse()
+	r := NewResponder(u, 0, 1)
+	a, ok := pickAddr(u, u.FirewallRSTBlock)
+	if !ok {
+		// Firewall blocks also cover unused addresses; scan allocations.
+		base := u.Reg.Allocs[0].Prefix
+		for i := uint64(0); i < base.Size(); i += 256 {
+			x := base.First() + ipv4.Addr(i)
+			if u.FirewallRSTBlock(x) {
+				a, ok = x, true
+				break
+			}
+		}
+	}
+	if !ok {
+		t.Skip("no firewall RST block")
+	}
+	probe := wire.SYN(ipv4.MustParseAddr("192.0.2.1"), a, 40000, 80, 9)
+	resp := r.Respond(probe, at())
+	if resp == nil || resp.TCP == nil || resp.TCP.Flags&wire.TCPFlagRST == 0 {
+		t.Fatalf("expected RST from firewall, got %+v", resp)
+	}
+}
+
+func TestRespondLossDropsEverything(t *testing.T) {
+	u := testUniverse()
+	r := NewResponder(u, 1.0, 1)
+	a, ok := pickAddr(u, u.RespondsICMP)
+	if !ok {
+		t.Fatal("no responder")
+	}
+	probe := wire.EchoRequest(ipv4.MustParseAddr("192.0.2.1"), a, 1, 1)
+	for i := 0; i < 20; i++ {
+		if resp := r.Respond(probe, at()); resp != nil {
+			t.Fatal("loss=1 must drop all probes")
+		}
+	}
+}
+
+func TestRespondRateLimit(t *testing.T) {
+	u := testUniverse()
+	r := NewResponder(u, 0, 1)
+	r.MinGap = time.Hour
+	a, ok := pickAddr(u, u.RespondsICMP)
+	if !ok {
+		t.Fatal("no responder")
+	}
+	probe := wire.EchoRequest(ipv4.MustParseAddr("192.0.2.1"), a, 1, 1)
+	now := at()
+	if resp := r.Respond(probe, now); resp == nil {
+		t.Fatal("first probe should answer")
+	}
+	if resp := r.Respond(probe, now.Add(time.Minute)); resp != nil {
+		t.Fatal("second probe within MinGap should be rate limited")
+	}
+	if resp := r.Respond(probe, now.Add(2*time.Hour)); resp == nil {
+		t.Fatal("probe after MinGap should answer")
+	}
+}
+
+func TestChanTransportRoundTrip(t *testing.T) {
+	a, b := NewPair(4)
+	defer a.Close()
+	if err := a.Send([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := b.Recv(10 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	a.Close()
+	if _, err := b.Recv(10 * time.Millisecond); err != ErrClosed {
+		t.Fatalf("want ErrClosed after close, got %v", err)
+	}
+	if err := a.Send([]byte{9}); err != ErrClosed {
+		t.Fatalf("Send on closed = %v", err)
+	}
+}
+
+func TestServeEndToEndChan(t *testing.T) {
+	u := testUniverse()
+	r := NewResponder(u, 0, 1)
+	probeEnd, netEnd := NewPair(64)
+	go Serve(netEnd, r, at)
+	defer probeEnd.Close()
+
+	a, ok := pickAddr(u, u.RespondsICMP)
+	if !ok {
+		t.Fatal("no responder")
+	}
+	req := wire.EchoRequest(ipv4.MustParseAddr("192.0.2.1"), a, 7, 1)
+	buf, _ := req.Marshal()
+	if err := probeEnd.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := probeEnd.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.Unmarshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ICMP == nil || resp.ICMP.Type != wire.ICMPEchoReply || resp.ICMP.ID != 7 {
+		t.Fatalf("bad reply: %+v", resp)
+	}
+}
+
+func TestServeEndToEndUDP(t *testing.T) {
+	u := testUniverse()
+	r := NewResponder(u, 0, 1)
+	probeEnd, netEnd, err := NewUDPPair()
+	if err != nil {
+		t.Skipf("UDP loopback unavailable: %v", err)
+	}
+	go Serve(netEnd, r, at)
+	defer probeEnd.Close()
+	defer netEnd.Close()
+
+	a, ok := pickAddr(u, u.RespondsTCP80)
+	if !ok {
+		t.Fatal("no TCP responder")
+	}
+	if u.FirewallRSTBlock(a) {
+		// Find one outside a RST block.
+		a, ok = pickAddr(u, func(x ipv4.Addr) bool {
+			return u.RespondsTCP80(x) && !u.FirewallRSTBlock(x)
+		})
+		if !ok {
+			t.Skip("all TCP responders behind RST firewalls")
+		}
+	}
+	req := wire.SYN(ipv4.MustParseAddr("192.0.2.1"), a, 41000, 80, 5)
+	buf, _ := req.Marshal()
+	if err := probeEnd.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := probeEnd.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.Unmarshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TCP == nil || resp.TCP.Flags != wire.TCPFlagSYN|wire.TCPFlagACK {
+		t.Fatalf("bad SYN/ACK: %+v", resp)
+	}
+}
+
+func TestServeIgnoresGarbage(t *testing.T) {
+	u := testUniverse()
+	r := NewResponder(u, 0, 1)
+	probeEnd, netEnd := NewPair(16)
+	go Serve(netEnd, r, at)
+	defer probeEnd.Close()
+	if err := probeEnd.Send([]byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probeEnd.Recv(100 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("garbage should be dropped silently, got %v", err)
+	}
+}
+
+func TestUDPTransportErrors(t *testing.T) {
+	a, b, err := NewUDPPair()
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	// Timeout with nothing pending.
+	if _, err := a.Recv(20 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	// Round trip.
+	if err := a.Send([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(time.Second)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("recv: %v %v", got, err)
+	}
+	// Close: Recv and Send report ErrClosed.
+	a.Close()
+	if _, err := a.Recv(20 * time.Millisecond); err != ErrClosed {
+		t.Fatalf("recv on closed = %v, want ErrClosed", err)
+	}
+	if err := a.Send([]byte{9}); err != ErrClosed {
+		t.Fatalf("send on closed = %v, want ErrClosed", err)
+	}
+	b.Close()
+}
+
+func TestRespondNilProbe(t *testing.T) {
+	r := NewResponder(testUniverse(), 0, 1)
+	if r.Respond(nil, at()) != nil {
+		t.Fatal("nil probe must yield nil")
+	}
+}
+
+func TestResponderMultiPort(t *testing.T) {
+	u := testUniverse()
+	r := NewResponder(u, 0, 1)
+	// A host that answers on 80 but not on an exotic port yields SYN/ACK
+	// vs RST/silence respectively.
+	a, ok := pickAddr(u, func(x ipv4.Addr) bool {
+		return u.RespondsTCP80(x) && !u.FirewallRSTBlock(x) && !u.RespondsTCPPort(x, 9100)
+	})
+	if !ok {
+		t.Skip("no suitable host")
+	}
+	if resp := r.Respond(wire.SYN(1, a, 40000, 80, 1), at()); resp == nil || resp.TCP == nil ||
+		resp.TCP.Flags != wire.TCPFlagSYN|wire.TCPFlagACK {
+		t.Fatal("port 80 should SYN/ACK")
+	}
+	resp := r.Respond(wire.SYN(1, a, 40000, 9100, 1), at())
+	if resp != nil && resp.TCP != nil && resp.TCP.Flags == wire.TCPFlagSYN|wire.TCPFlagACK {
+		t.Fatal("port 9100 should not SYN/ACK for this host")
+	}
+}

@@ -1,0 +1,64 @@
+package inet
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// udpTransport encapsulates simulated IPv4 packets in UDP datagrams over
+// the loopback interface, so the probe path can run over real sockets.
+type udpTransport struct {
+	conn *net.UDPConn
+	peer *net.UDPAddr
+}
+
+// NewUDPPair binds two UDP sockets on 127.0.0.1 and returns transports
+// wired to each other. The kernel provides the queueing; Close unblocks any
+// pending Recv.
+func NewUDPPair() (Transport, Transport, error) {
+	a, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		a.Close()
+		return nil, nil, err
+	}
+	ta := &udpTransport{conn: a, peer: b.LocalAddr().(*net.UDPAddr)}
+	tb := &udpTransport{conn: b, peer: a.LocalAddr().(*net.UDPAddr)}
+	return ta, tb, nil
+}
+
+func (u *udpTransport) Send(b []byte) error {
+	_, err := u.conn.WriteToUDP(b, u.peer)
+	if err != nil && errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+func (u *udpTransport) Recv(timeout time.Duration) ([]byte, error) {
+	if err := u.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	buf := make([]byte, 2048)
+	n, _, err := u.conn.ReadFromUDP(buf)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return nil, ErrTimeout
+		}
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+func (u *udpTransport) Close() error { return u.conn.Close() }

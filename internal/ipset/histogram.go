@@ -1,0 +1,57 @@
+package ipset
+
+import "math/bits"
+
+// CaptureHistogram computes, for up to 16 sources, the number of addresses
+// with each capture history. The returned slice has length 1<<len(sets);
+// entry m counts the addresses present in exactly the sources whose bit is
+// set in m (entry 0 is always zero — unobserved addresses are what the
+// log-linear model estimates).
+//
+// The computation is page-wise: for each /24 page occupied by any source
+// the per-source 256-bit bitmaps are combined bit position by bit position,
+// so cost is O(pages × 256) independent of how the sets overlap.
+func CaptureHistogram(sets []*Set) []int64 {
+	t := len(sets)
+	if t == 0 {
+		return []int64{0}
+	}
+	if t > 16 {
+		panic("ipset: CaptureHistogram supports at most 16 sources")
+	}
+	counts := make([]int64, 1<<uint(t))
+	// Union of occupied page indices.
+	pageIdx := make(map[uint32]struct{})
+	for _, s := range sets {
+		for idx := range s.pages {
+			pageIdx[idx] = struct{}{}
+		}
+	}
+	pages := make([]*page, t)
+	for idx := range pageIdx {
+		for i, s := range sets {
+			pages[i] = s.pages[idx]
+		}
+		for w := 0; w < 4; w++ {
+			// any = bits set in at least one source within this word.
+			var any uint64
+			for _, p := range pages {
+				if p != nil {
+					any |= p[w]
+				}
+			}
+			for any != 0 {
+				b := uint(bits.TrailingZeros64(any))
+				any &^= 1 << b
+				var mask int
+				for i, p := range pages {
+					if p != nil && p[w]&(1<<b) != 0 {
+						mask |= 1 << i
+					}
+				}
+				counts[mask]++
+			}
+		}
+	}
+	return counts
+}

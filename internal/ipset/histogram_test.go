@@ -1,0 +1,84 @@
+package ipset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ghosts/internal/ipv4"
+)
+
+func TestCaptureHistogramSmall(t *testing.T) {
+	a := fromUints([]uint32{1, 2, 3})
+	b := fromUints([]uint32{2, 3, 4})
+	c := fromUints([]uint32{3, 4, 5, 70000})
+	h := CaptureHistogram([]*Set{a, b, c})
+	// addr 1: only a (mask 001=1); 2: a,b (011=3); 3: a,b,c (111=7);
+	// 4: b,c (110=6); 5: c (100=4); 70000: c (100=4).
+	want := map[int]int64{1: 1, 3: 1, 7: 1, 6: 1, 4: 2}
+	for m, w := range want {
+		if h[m] != w {
+			t.Errorf("counts[%03b] = %d, want %d", m, h[m], w)
+		}
+	}
+	if h[0] != 0 {
+		t.Errorf("counts[0] = %d, want 0", h[0])
+	}
+	var total int64
+	for _, v := range h {
+		total += v
+	}
+	if total != int64(Union(Union(a, b), c).Len()) {
+		t.Errorf("histogram total %d != union size", total)
+	}
+}
+
+func TestCaptureHistogramMatchesNaive(t *testing.T) {
+	f := func(as, bs, cs []uint32) bool {
+		sets := []*Set{fromUints(as), fromUints(bs), fromUints(cs)}
+		h := CaptureHistogram(sets)
+		// Naive recomputation.
+		naive := make([]int64, 8)
+		union := Union(Union(sets[0], sets[1]), sets[2])
+		union.Range(func(x ipv4.Addr) bool {
+			m := 0
+			for i, s := range sets {
+				if s.Contains(x) {
+					m |= 1 << i
+				}
+			}
+			naive[m]++
+			return true
+		})
+		for i := range naive {
+			if naive[i] != h[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCaptureHistogramEdge(t *testing.T) {
+	h := CaptureHistogram(nil)
+	if len(h) != 1 || h[0] != 0 {
+		t.Fatalf("empty input: %v", h)
+	}
+	one := CaptureHistogram([]*Set{fromUints([]uint32{9, 10})})
+	if one[1] != 2 || one[0] != 0 {
+		t.Fatalf("single source: %v", one)
+	}
+}
+
+func BenchmarkCaptureHistogram(b *testing.B) {
+	sets := make([]*Set, 9)
+	for i := range sets {
+		sets[i] = randomSet(50000, int64(i+1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CaptureHistogram(sets)
+	}
+}

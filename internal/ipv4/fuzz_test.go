@@ -1,0 +1,40 @@
+package ipv4
+
+import "testing"
+
+// FuzzParsePrefix: the CIDR parser must never panic, and accepted inputs
+// must round-trip through String.
+func FuzzParsePrefix(f *testing.F) {
+	f.Add("10.0.0.0/8")
+	f.Add("255.255.255.255/32")
+	f.Add("0.0.0.0/0")
+	f.Add("1.2.3.4")
+	f.Add("x/9")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip failed: %q -> %v -> %v (%v)", s, p, back, err)
+		}
+	})
+}
+
+// FuzzParseAddr: same contract for dotted quads.
+func FuzzParseAddr(f *testing.F) {
+	f.Add("1.2.3.4")
+	f.Add("0.0.0.0")
+	f.Add("999.1.1.1")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip failed for %q", s)
+		}
+	})
+}

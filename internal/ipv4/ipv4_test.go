@@ -1,0 +1,231 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrString(t *testing.T) {
+	tests := []struct {
+		a    Addr
+		want string
+	}{
+		{0, "0.0.0.0"},
+		{AddrFromOctets(192, 168, 1, 42), "192.168.1.42"},
+		{AddrFromOctets(255, 255, 255, 255), "255.255.255.255"},
+		{AddrFromOctets(8, 8, 8, 8), "8.8.8.8"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("Addr(%d).String() = %q, want %q", uint32(tt.a), got, tt.want)
+		}
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Addr
+		wantErr bool
+	}{
+		{"1.2.3.4", AddrFromOctets(1, 2, 3, 4), false},
+		{"0.0.0.0", 0, false},
+		{"255.255.255.255", 0xffffffff, false},
+		{"256.0.0.1", 0, true},
+		{"1.2.3", 0, true},
+		{"1.2.3.4.5", 0, true},
+		{"", 0, true},
+		{"a.b.c.d", 0, true},
+		{"1..2.3", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseAddr(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseAddr(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlash24(t *testing.T) {
+	a := AddrFromOctets(10, 20, 30, 40)
+	if got := a.Slash24(); got != AddrFromOctets(10, 20, 30, 0) {
+		t.Errorf("Slash24() = %v", got)
+	}
+	if got := a.Slash24Index(); got != uint32(a)>>8 {
+		t.Errorf("Slash24Index() = %d", got)
+	}
+	if a.LastByte() != 40 {
+		t.Errorf("LastByte() = %d, want 40", a.LastByte())
+	}
+}
+
+func TestPrefixCanonical(t *testing.T) {
+	p := NewPrefix(AddrFromOctets(10, 1, 2, 3), 16)
+	if p.Base != AddrFromOctets(10, 1, 0, 0) {
+		t.Errorf("NewPrefix did not canonicalise: base = %v", p.Base)
+	}
+	if p.Size() != 1<<16 {
+		t.Errorf("Size() = %d, want %d", p.Size(), 1<<16)
+	}
+	if p.First() != p.Base {
+		t.Errorf("First() = %v", p.First())
+	}
+	if p.Last() != AddrFromOctets(10, 1, 255, 255) {
+		t.Errorf("Last() = %v", p.Last())
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("192.168.0.0/16")
+	if !p.Contains(MustParseAddr("192.168.200.1")) {
+		t.Error("Contains should hold inside the prefix")
+	}
+	if p.Contains(MustParseAddr("192.169.0.0")) {
+		t.Error("Contains should fail outside the prefix")
+	}
+	if !p.ContainsPrefix(MustParsePrefix("192.168.4.0/24")) {
+		t.Error("ContainsPrefix should hold for a nested /24")
+	}
+	if p.ContainsPrefix(MustParsePrefix("192.0.0.0/8")) {
+		t.Error("ContainsPrefix should fail for a strictly larger prefix")
+	}
+	if !p.Overlaps(MustParsePrefix("192.0.0.0/8")) {
+		t.Error("Overlaps should hold for an enclosing prefix")
+	}
+	if p.Overlaps(MustParsePrefix("10.0.0.0/8")) {
+		t.Error("Overlaps should fail for a disjoint prefix")
+	}
+}
+
+func TestPrefixHalves(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	lo, hi := p.Halves()
+	if lo != MustParsePrefix("10.0.0.0/9") || hi != MustParsePrefix("10.128.0.0/9") {
+		t.Errorf("Halves() = %v, %v", lo, hi)
+	}
+	if lo.Size()+hi.Size() != p.Size() {
+		t.Error("halves must partition the parent")
+	}
+}
+
+func TestPrefixHalvesProperty(t *testing.T) {
+	f := func(v uint32, bitsRaw uint8) bool {
+		bits := int(bitsRaw % 32) // 0..31 so Halves is legal
+		p := NewPrefix(Addr(v), bits)
+		lo, hi := p.Halves()
+		// The halves are disjoint, ordered, and exactly cover the parent.
+		return lo.Last()+1 == hi.First() &&
+			p.ContainsPrefix(lo) && p.ContainsPrefix(hi) &&
+			!lo.Overlaps(hi) &&
+			lo.First() == p.First() && hi.Last() == p.Last()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlash24Count(t *testing.T) {
+	tests := []struct {
+		p    string
+		want uint32
+	}{
+		{"10.0.0.0/8", 1 << 16},
+		{"10.0.0.0/24", 1},
+		{"10.0.0.0/25", 0},
+		{"10.0.0.0/32", 0},
+		{"0.0.0.0/0", 1 << 24},
+	}
+	for _, tt := range tests {
+		if got := MustParsePrefix(tt.p).Slash24Count(); got != tt.want {
+			t.Errorf("Slash24Count(%s) = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	for _, in := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8", "10.0.0.0/a"} {
+		if _, err := ParsePrefix(in); err == nil {
+			t.Errorf("ParsePrefix(%q) should fail", in)
+		}
+	}
+}
+
+func TestIsReserved(t *testing.T) {
+	reserved := []string{"10.1.2.3", "127.0.0.1", "192.168.5.5", "224.0.0.1", "240.1.1.1", "169.254.9.9", "100.64.0.1"}
+	for _, s := range reserved {
+		if !IsReserved(MustParseAddr(s)) {
+			t.Errorf("IsReserved(%s) = false, want true", s)
+		}
+	}
+	public := []string{"8.8.8.8", "1.1.1.1", "130.95.0.1", "203.0.114.1"}
+	for _, s := range public {
+		if IsReserved(MustParseAddr(s)) {
+			t.Errorf("IsReserved(%s) = true, want false", s)
+		}
+	}
+}
+
+func TestReverseBits(t *testing.T) {
+	tests := []struct{ in, want uint32 }{
+		{0, 0},
+		{1, 0x80000000},
+		{0x80000000, 1},
+		{0xffffffff, 0xffffffff},
+		{0x00000002, 0x40000000},
+	}
+	for _, tt := range tests {
+		if got := ReverseBits(tt.in); got != tt.want {
+			t.Errorf("ReverseBits(%#x) = %#x, want %#x", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestReverseBitsInvolution(t *testing.T) {
+	f := func(v uint32) bool { return ReverseBits(ReverseBits(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Reversed-bit traversal must enumerate every value exactly once; check a
+// 16-bit analogue by exercising the top 16 bits of the 32-bit reversal.
+func TestReverseBitsIsPermutation(t *testing.T) {
+	seen := make([]bool, 1<<16)
+	for i := uint32(0); i < 1<<16; i++ {
+		v := ReverseBits(i) >> 16
+		if seen[v] {
+			t.Fatalf("duplicate value %#x at i=%d", v, i)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkAddrString(b *testing.B) {
+	a := AddrFromOctets(203, 0, 113, 200)
+	for i := 0; i < b.N; i++ {
+		_ = a.String()
+	}
+}
+
+func BenchmarkReverseBits(b *testing.B) {
+	var acc uint32
+	for i := 0; i < b.N; i++ {
+		acc ^= ReverseBits(uint32(i))
+	}
+	_ = acc
+}

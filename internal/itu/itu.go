@@ -1,0 +1,67 @@
+// Package itu holds the ITU Internet-user series (Figure 11) and the
+// paper's back-of-envelope model (§6.9) translating user growth into a
+// plausible band of IPv4-address growth:
+//
+//	g_I = (1/H + p_E/W) · g_U
+//
+// with household size H, employment ratio p_E and employees per work
+// address W. The paper checks that its CR growth estimate falls inside the
+// band implied by H ∈ [2, 5] and W ∈ [2, 200].
+package itu
+
+// UserPoint is one year of the ITU series.
+type UserPoint struct {
+	Year  int
+	Users float64 // millions
+}
+
+// Users is the ITU worldwide Internet-user series (millions), December
+// values, 1995–2013, as plotted in Figure 11: growth from 16 million in
+// 1995 to 2.75 billion (≈39% of the world) in 2013, exponential early and
+// roughly linear from 2006/2007 at ≈250 million new users per year.
+var Users = []UserPoint{
+	{1995, 16}, {1996, 36}, {1997, 70}, {1998, 147}, {1999, 248},
+	{2000, 361}, {2001, 495}, {2002, 631}, {2003, 719}, {2004, 817},
+	{2005, 1018}, {2006, 1157}, {2007, 1373}, {2008, 1562}, {2009, 1752},
+	{2010, 2023}, {2011, 2231}, {2012, 2497}, {2013, 2749},
+}
+
+// GrowthPerYear returns the average user growth (millions/year) between
+// two years of the series.
+func GrowthPerYear(from, to int) float64 {
+	var a, b *UserPoint
+	for i := range Users {
+		if Users[i].Year == from {
+			a = &Users[i]
+		}
+		if Users[i].Year == to {
+			b = &Users[i]
+		}
+	}
+	if a == nil || b == nil || to <= from {
+		return 0
+	}
+	return (b.Users - a.Users) / float64(to-from)
+}
+
+// Model are the §6.9 parameters.
+type Model struct {
+	HouseholdSize  float64 // H: people sharing one home address
+	EmploymentRate float64 // p_E
+	PerWorkAddr    float64 // W: employees sharing one work address
+}
+
+// AddressGrowth returns the implied IPv4-address growth (millions/year)
+// for a user growth gU (millions/year): g_I = (1/H + p_E/W)·g_U.
+func (m Model) AddressGrowth(gU float64) float64 {
+	return (1/m.HouseholdSize + m.EmploymentRate/m.PerWorkAddr) * gU
+}
+
+// PaperBand returns the paper's low and high growth bounds (≈50–205
+// million addresses/year) from gU user growth: H ∈ [2, 5], p_E = 0.65,
+// W ∈ [2, 200].
+func PaperBand(gU float64) (lo, hi float64) {
+	lo = Model{HouseholdSize: 5, EmploymentRate: 0.65, PerWorkAddr: 200}.AddressGrowth(gU)
+	hi = Model{HouseholdSize: 2, EmploymentRate: 0.65, PerWorkAddr: 2}.AddressGrowth(gU)
+	return lo, hi
+}

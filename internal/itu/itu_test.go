@@ -1,0 +1,56 @@
+package itu
+
+import "testing"
+
+func TestSeriesShape(t *testing.T) {
+	if Users[0].Year != 1995 || Users[0].Users != 16 {
+		t.Fatal("series must start at 16M in 1995")
+	}
+	last := Users[len(Users)-1]
+	if last.Year != 2013 || last.Users != 2749 {
+		t.Fatalf("series must end at 2.75B in 2013, got %v", last)
+	}
+	for i := 1; i < len(Users); i++ {
+		if Users[i].Year != Users[i-1].Year+1 {
+			t.Fatal("series must be annual")
+		}
+		if Users[i].Users <= Users[i-1].Users {
+			t.Fatal("user counts must grow monotonically")
+		}
+	}
+}
+
+func TestGrowth2007to2012(t *testing.T) {
+	// §6.9: "Between 2007 and 2012 the number of Internet users grew by
+	// roughly 250 million per year."
+	g := GrowthPerYear(2007, 2012)
+	if g < 200 || g > 280 {
+		t.Fatalf("2007–2012 growth = %v M/year, want ≈250", g)
+	}
+	if GrowthPerYear(2012, 2007) != 0 || GrowthPerYear(1990, 2000) != 0 {
+		t.Fatal("invalid ranges must return 0")
+	}
+}
+
+func TestPaperBand(t *testing.T) {
+	lo, hi := PaperBand(250)
+	// §6.9: "we would expect the IPv4 addresses to grow between 50
+	// million and 205 million per year".
+	if lo < 40 || lo > 60 {
+		t.Fatalf("band low = %v, want ≈51", lo)
+	}
+	if hi < 180 || hi > 220 {
+		t.Fatalf("band high = %v, want ≈206", hi)
+	}
+	// The paper's CR estimate of 170M/year must fall inside the band.
+	if 170 < lo || 170 > hi {
+		t.Fatal("the paper's 170M/year must be inside the band")
+	}
+}
+
+func TestModelFormula(t *testing.T) {
+	m := Model{HouseholdSize: 4, EmploymentRate: 0.5, PerWorkAddr: 10}
+	if got := m.AddressGrowth(100); got != (0.25+0.05)*100 {
+		t.Fatalf("AddressGrowth = %v", got)
+	}
+}

@@ -1,0 +1,35 @@
+package netflow
+
+import "testing"
+
+// FuzzUnmarshal: the NetFlow decoder must never panic and must round-trip
+// every datagram it accepts.
+func FuzzUnmarshal(f *testing.F) {
+	good, _ := Marshal(Header{FlowSeq: 9}, []Record{{Src: 1, Dst: 2, Proto: 6}})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 5})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, recs, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(h, recs)
+		if err != nil {
+			t.Fatalf("accepted datagram does not re-marshal: %v", err)
+		}
+		h2, recs2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshalled datagram does not decode: %v", err)
+		}
+		if h2.FlowSeq != h.FlowSeq || len(recs2) != len(recs) {
+			t.Fatal("round trip changed header or record count")
+		}
+		for i := range recs {
+			if recs2[i] != recs[i] {
+				t.Fatalf("record %d changed in round trip", i)
+			}
+		}
+	})
+}

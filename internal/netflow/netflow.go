@@ -1,0 +1,251 @@
+// Package netflow implements the NetFlow v5 export format and a UDP
+// exporter/collector pair. The paper's SWIN and CALT datasets are IPv4
+// addresses extracted from access-router NetFlow records (§4.1); this
+// package provides that substrate: flow records are encoded to the real
+// 24-byte-header/48-byte-record wire layout, shipped over UDP, decoded by
+// the collector, and reduced to the set of observed source addresses.
+package netflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ghosts/internal/ipset"
+	"ghosts/internal/ipv4"
+)
+
+// Version is the only NetFlow version supported (v5).
+const Version = 5
+
+const (
+	headerLen = 24
+	recordLen = 48
+	// MaxRecords is the v5 limit of records per datagram.
+	MaxRecords = 30
+)
+
+// Record is one NetFlow v5 flow record (the fields the pipeline uses; the
+// rest are encoded as zero).
+type Record struct {
+	Src, Dst    ipv4.Addr
+	SrcPort     uint16
+	DstPort     uint16
+	Packets     uint32
+	Octets      uint32
+	First, Last uint32 // sysuptime ms
+	Proto       uint8
+	TCPFlags    uint8
+}
+
+// Header is the v5 export header.
+type Header struct {
+	Count     uint16
+	SysUptime uint32
+	UnixSecs  uint32
+	FlowSeq   uint32
+}
+
+// Marshal encodes a header and up to MaxRecords records into one datagram.
+func Marshal(h Header, recs []Record) ([]byte, error) {
+	if len(recs) > MaxRecords {
+		return nil, fmt.Errorf("netflow: %d records exceeds v5 limit of %d", len(recs), MaxRecords)
+	}
+	h.Count = uint16(len(recs))
+	b := make([]byte, headerLen+len(recs)*recordLen)
+	binary.BigEndian.PutUint16(b[0:], Version)
+	binary.BigEndian.PutUint16(b[2:], h.Count)
+	binary.BigEndian.PutUint32(b[4:], h.SysUptime)
+	binary.BigEndian.PutUint32(b[8:], h.UnixSecs)
+	binary.BigEndian.PutUint32(b[16:], h.FlowSeq)
+	for i, r := range recs {
+		o := headerLen + i*recordLen
+		binary.BigEndian.PutUint32(b[o+0:], uint32(r.Src))
+		binary.BigEndian.PutUint32(b[o+4:], uint32(r.Dst))
+		binary.BigEndian.PutUint32(b[o+16:], r.Packets)
+		binary.BigEndian.PutUint32(b[o+20:], r.Octets)
+		binary.BigEndian.PutUint32(b[o+24:], r.First)
+		binary.BigEndian.PutUint32(b[o+28:], r.Last)
+		binary.BigEndian.PutUint16(b[o+32:], r.SrcPort)
+		binary.BigEndian.PutUint16(b[o+34:], r.DstPort)
+		b[o+37] = r.TCPFlags
+		b[o+38] = r.Proto
+	}
+	return b, nil
+}
+
+// Unmarshal decodes one export datagram.
+func Unmarshal(b []byte) (Header, []Record, error) {
+	if len(b) < headerLen {
+		return Header{}, nil, errors.New("netflow: short datagram")
+	}
+	if v := binary.BigEndian.Uint16(b[0:]); v != Version {
+		return Header{}, nil, fmt.Errorf("netflow: unsupported version %d", v)
+	}
+	h := Header{
+		Count:     binary.BigEndian.Uint16(b[2:]),
+		SysUptime: binary.BigEndian.Uint32(b[4:]),
+		UnixSecs:  binary.BigEndian.Uint32(b[8:]),
+		FlowSeq:   binary.BigEndian.Uint32(b[16:]),
+	}
+	if int(h.Count) > MaxRecords {
+		return Header{}, nil, fmt.Errorf("netflow: record count %d exceeds v5 limit", h.Count)
+	}
+	want := headerLen + int(h.Count)*recordLen
+	if len(b) < want {
+		return Header{}, nil, fmt.Errorf("netflow: truncated datagram: %d < %d", len(b), want)
+	}
+	recs := make([]Record, h.Count)
+	for i := range recs {
+		o := headerLen + i*recordLen
+		recs[i] = Record{
+			Src:      ipv4.Addr(binary.BigEndian.Uint32(b[o+0:])),
+			Dst:      ipv4.Addr(binary.BigEndian.Uint32(b[o+4:])),
+			Packets:  binary.BigEndian.Uint32(b[o+16:]),
+			Octets:   binary.BigEndian.Uint32(b[o+20:]),
+			First:    binary.BigEndian.Uint32(b[o+24:]),
+			Last:     binary.BigEndian.Uint32(b[o+28:]),
+			SrcPort:  binary.BigEndian.Uint16(b[o+32:]),
+			DstPort:  binary.BigEndian.Uint16(b[o+34:]),
+			TCPFlags: b[o+37],
+			Proto:    b[o+38],
+		}
+	}
+	return h, recs, nil
+}
+
+// Exporter batches records and ships them to a UDP collector.
+type Exporter struct {
+	conn    net.Conn
+	mu      sync.Mutex
+	pending []Record
+	seq     uint32
+	epoch   time.Time
+}
+
+// NewExporter dials the collector address (e.g. "127.0.0.1:2055").
+func NewExporter(addr string) (*Exporter, error) {
+	conn, err := net.Dial("udp4", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Exporter{conn: conn, epoch: time.Now()}, nil
+}
+
+// Export queues a record, flushing a full datagram when MaxRecords are
+// pending.
+func (e *Exporter) Export(r Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pending = append(e.pending, r)
+	if len(e.pending) >= MaxRecords {
+		return e.flushLocked()
+	}
+	return nil
+}
+
+// Flush sends any pending records.
+func (e *Exporter) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flushLocked()
+}
+
+func (e *Exporter) flushLocked() error {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	h := Header{
+		SysUptime: uint32(time.Since(e.epoch).Milliseconds()),
+		UnixSecs:  uint32(time.Now().Unix()),
+		FlowSeq:   e.seq,
+	}
+	b, err := Marshal(h, e.pending)
+	if err != nil {
+		return err
+	}
+	e.seq += uint32(len(e.pending))
+	e.pending = e.pending[:0]
+	_, err = e.conn.Write(b)
+	return err
+}
+
+// Close flushes and closes the exporter.
+func (e *Exporter) Close() error {
+	if err := e.Flush(); err != nil {
+		e.conn.Close()
+		return err
+	}
+	return e.conn.Close()
+}
+
+// Collector receives export datagrams and accumulates the set of observed
+// source IPv4 addresses (the SWIN/CALT reduction of §4.1).
+type Collector struct {
+	conn *net.UDPConn
+
+	mu        sync.Mutex
+	srcs      *ipset.Set
+	records   int64
+	malformed int64
+}
+
+// NewCollector listens on 127.0.0.1 at an ephemeral port; Addr reports
+// where exporters should dial.
+func NewCollector() (*Collector, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	// Bursty exporters overflow the default socket buffer long before the
+	// reader loop drains it; ask for a few megabytes (the kernel may cap
+	// this — residual drops are part of the protocol's reality).
+	_ = conn.SetReadBuffer(8 << 20)
+	c := &Collector{conn: conn, srcs: ipset.New()}
+	go c.loop()
+	return c, nil
+}
+
+// Addr returns the collector's listen address.
+func (c *Collector) Addr() string { return c.conn.LocalAddr().String() }
+
+func (c *Collector) loop() {
+	buf := make([]byte, 65535)
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		_, recs, err := Unmarshal(buf[:n])
+		c.mu.Lock()
+		if err != nil {
+			c.malformed++
+		} else {
+			for _, r := range recs {
+				c.srcs.Add(r.Src)
+			}
+			c.records += int64(len(recs))
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Sources returns a snapshot of the distinct source addresses seen so far.
+func (c *Collector) Sources() *ipset.Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.srcs.Clone()
+}
+
+// Stats returns the number of decoded records and malformed datagrams.
+func (c *Collector) Stats() (records, malformed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.records, c.malformed
+}
+
+// Close stops the collector.
+func (c *Collector) Close() error { return c.conn.Close() }

@@ -1,0 +1,222 @@
+package netflow
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ghosts/internal/ipv4"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Src: ipv4.MustParseAddr("1.2.3.4"), Dst: ipv4.MustParseAddr("5.6.7.8"),
+			SrcPort: 1234, DstPort: 80, Packets: 10, Octets: 4000,
+			First: 100, Last: 200, Proto: 6, TCPFlags: 0x12},
+		{Src: ipv4.MustParseAddr("9.9.9.9"), Proto: 17},
+	}
+	h := Header{SysUptime: 5000, UnixSecs: 1700000000, FlowSeq: 42}
+	b, err := Marshal(h, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh, grecs, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh.Count != 2 || gh.FlowSeq != 42 || gh.SysUptime != 5000 {
+		t.Fatalf("header: %+v", gh)
+	}
+	if len(grecs) != 2 {
+		t.Fatalf("records: %d", len(grecs))
+	}
+	if grecs[0] != recs[0] || grecs[1] != recs[1] {
+		t.Fatalf("records differ:\n got %+v\nwant %+v", grecs, recs)
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, pkts, oct uint32, proto, flags uint8) bool {
+		r := Record{
+			Src: ipv4.Addr(src), Dst: ipv4.Addr(dst), SrcPort: sp, DstPort: dp,
+			Packets: pkts, Octets: oct, Proto: proto, TCPFlags: flags,
+		}
+		b, err := Marshal(Header{}, []Record{r})
+		if err != nil {
+			return false
+		}
+		_, got, err := Unmarshal(b)
+		return err == nil && len(got) == 1 && got[0] == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalLimits(t *testing.T) {
+	recs := make([]Record, MaxRecords+1)
+	if _, err := Marshal(Header{}, recs); err == nil {
+		t.Fatal("over-limit datagram should fail")
+	}
+	b, err := Marshal(Header{}, recs[:MaxRecords])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != headerLen+MaxRecords*recordLen {
+		t.Fatalf("datagram size %d", len(b))
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("short accepted")
+	}
+	b, _ := Marshal(Header{}, []Record{{Src: 1}})
+	b[0], b[1] = 0, 9 // version 9
+	if _, _, err := Unmarshal(b); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	b, _ = Marshal(Header{}, []Record{{Src: 1}})
+	if _, _, err := Unmarshal(b[:len(b)-4]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	b, _ = Marshal(Header{}, []Record{{Src: 1}})
+	b[2], b[3] = 0, 200 // absurd count
+	if _, _, err := Unmarshal(b); err == nil {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+func TestExporterCollectorEndToEnd(t *testing.T) {
+	col, err := NewCollector()
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer col.Close()
+	exp, err := NewExporter(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := exp.Export(Record{Src: ipv4.Addr(0x0a000000 + uint32(i)), Proto: 6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the collector to drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if recs, _ := col.Stats(); recs >= n || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recs, malformed := col.Stats()
+	if recs != n {
+		t.Fatalf("collector decoded %d records, want %d", recs, n)
+	}
+	if malformed != 0 {
+		t.Fatalf("%d malformed datagrams", malformed)
+	}
+	srcs := col.Sources()
+	if srcs.Len() != n {
+		t.Fatalf("distinct sources = %d, want %d", srcs.Len(), n)
+	}
+	if !srcs.Contains(ipv4.MustParseAddr("10.0.0.42")) {
+		t.Fatal("expected source missing")
+	}
+}
+
+func TestCollectorIgnoresGarbage(t *testing.T) {
+	col, err := NewCollector()
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer col.Close()
+	exp, err := NewExporter(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	// Raw garbage straight through the exporter's socket.
+	if _, err := exp.conn.Write([]byte("not netflow")); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Export(Record{Src: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		recs, mal := col.Stats()
+		if (recs >= 1 && mal >= 1) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recs, mal := col.Stats()
+	if recs != 1 || mal != 1 {
+		t.Fatalf("records=%d malformed=%d, want 1 and 1", recs, mal)
+	}
+}
+
+func TestExporterAutoFlush(t *testing.T) {
+	col, err := NewCollector()
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer col.Close()
+	exp, err := NewExporter(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	// MaxRecords exports must trigger a flush without explicit Flush.
+	for i := 0; i < MaxRecords; i++ {
+		if err := exp.Export(Record{Src: ipv4.Addr(uint32(i + 1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if recs, _ := col.Stats(); recs >= MaxRecords || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if recs, _ := col.Stats(); recs != MaxRecords {
+		t.Fatalf("auto-flush delivered %d records, want %d", recs, MaxRecords)
+	}
+}
+
+func BenchmarkMarshal30(b *testing.B) {
+	recs := make([]Record, MaxRecords)
+	for i := range recs {
+		recs[i] = Record{Src: ipv4.Addr(uint32(i)), Dst: 1, Packets: 10}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(Header{}, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal30(b *testing.B) {
+	recs := make([]Record, MaxRecords)
+	buf, _ := Marshal(Header{}, recs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

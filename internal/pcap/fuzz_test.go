@@ -1,0 +1,32 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzReader: the pcap parser must never panic on corrupt captures.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.WritePacket(time.Unix(1e9, 0), []byte{1, 2, 3, 4})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF {
+					return // corrupt record: error, not panic
+				}
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package probe
+
+import (
+	"errors"
+	"sync"
+
+	"ghosts/internal/inet"
+	"ghosts/internal/ipset"
+	"ghosts/internal/ipv4"
+)
+
+// RunParallel sweeps the targets with several concurrent workers, each
+// driving its own transport (real deployments spread a census over many
+// prober processes; §4.1's pacing happens per /24, which sharding
+// preserves because targets are split along prefix boundaries).
+//
+// newTransport is called once per worker. Results are merged. The pcap
+// Capture option is not supported in parallel mode — packet interleaving
+// across workers would scramble the capture — and is rejected.
+func (c *Census) RunParallel(targets []ipv4.Prefix, workers int, newTransport func() (inet.Transport, error)) (*Result, error) {
+	if c.Capture != nil {
+		return nil, errors.New("probe: pcap capture is not supported with parallel sweeps")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := shardTargets(targets, workers)
+	results := make([]*Result, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tp, err := newTransport()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer tp.Close()
+			worker := *c
+			worker.Transport = tp
+			results[i], errs[i] = worker.Run(shards[i])
+		}(i)
+	}
+	wg.Wait()
+	merged := &Result{Observed: ipset.New()}
+	for i := range shards {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if results[i] == nil {
+			continue
+		}
+		merged.Observed.AddSet(results[i].Observed)
+		merged.Sent += results[i].Sent
+		merged.Replies += results[i].Replies
+		merged.Ignored += results[i].Ignored
+	}
+	return merged, nil
+}
+
+// shardTargets splits the target prefixes into n groups of roughly equal
+// address count, subdividing large prefixes so every worker gets work.
+func shardTargets(targets []ipv4.Prefix, n int) [][]ipv4.Prefix {
+	// Subdivide until there are at least n prefixes (or they are /32s).
+	work := append([]ipv4.Prefix(nil), targets...)
+	for len(work) < n {
+		// Split the largest prefix.
+		best := -1
+		for i, p := range work {
+			if p.Bits < 32 && (best < 0 || p.Bits < work[best].Bits) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		lo, hi := work[best].Halves()
+		work[best] = lo
+		work = append(work, hi)
+	}
+	// Greedy balance by size: largest first into the lightest shard.
+	shards := make([][]ipv4.Prefix, n)
+	loads := make([]uint64, n)
+	for len(work) > 0 {
+		big := 0
+		for i, p := range work {
+			if p.Size() > work[big].Size() {
+				big = i
+			}
+		}
+		light := 0
+		for i, l := range loads {
+			if l < loads[light] {
+				light = i
+			}
+		}
+		shards[light] = append(shards[light], work[big])
+		loads[light] += work[big].Size()
+		work = append(work[:big], work[big+1:]...)
+	}
+	// Drop empty shards.
+	out := shards[:0]
+	for _, s := range shards {
+		if len(s) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+// Package probe implements the paper's census prober (§4.1): it sweeps
+// target prefixes with ICMP echo requests (IPING) or TCP port-80 SYNs
+// (TPING), traversing each prefix in reversed-bit-counting order so
+// consecutive probes land in distant /24s, and classifies responses per
+// §4.4 — echo replies and protocol/port unreachables from the target count
+// as used; RSTs, TTL-exceeded and other ICMP errors are ignored.
+//
+// Probes are timestamped on a *simulated* clock spread across the census
+// window (a real census takes months; §4.1 sends one packet per /24 every
+// two hours on average), so the responder's rate limiting sees realistic
+// spacing while wall-clock time stays bounded.
+package probe
+
+import (
+	"errors"
+	"time"
+
+	"ghosts/internal/inet"
+	"ghosts/internal/ipset"
+	"ghosts/internal/ipv4"
+	"ghosts/internal/pcap"
+	"ghosts/internal/wire"
+)
+
+// Kind selects the probe protocol.
+type Kind int
+
+// Census kinds.
+const (
+	ICMP  Kind = iota // IPING: ICMP echo request census
+	TCP80             // TPING: TCP SYN to port 80
+)
+
+func (k Kind) String() string {
+	if k == TCP80 {
+		return "TPING"
+	}
+	return "IPING"
+}
+
+// Census sweeps prefixes through a transport.
+type Census struct {
+	Transport inet.Transport
+	Src       ipv4.Addr
+	Kind      Kind
+	// Start and End bound the simulated census period; probe i of n is
+	// stamped Start + i/n · (End−Start).
+	Start, End time.Time
+	// Batch is the number of probes in flight between drains.
+	Batch int
+	// DrainTimeout is the real-time wait for responses when draining.
+	DrainTimeout time.Duration
+	// ID tags ICMP probes so unrelated traffic is not miscounted.
+	ID uint16
+	// Port is the TCP destination port for TCP80-kind sweeps; zero means
+	// 80. (The paper surveyed several common ports and found 80 the most
+	// responsive, footnote 2.)
+	Port uint16
+	// Capture, when non-nil, records every probe and response in pcap
+	// format (raw-IP link type), timestamped on the simulated clock, for
+	// offline inspection with standard tools.
+	Capture *pcap.Writer
+}
+
+// Result summarises a census run.
+type Result struct {
+	Observed *ipset.Set // addresses classified as used
+	Sent     int        // probes sent
+	Replies  int        // responses received (any kind)
+	Ignored  int        // responses discarded by §4.4's rules
+}
+
+// Run probes every address in the target prefixes once and returns the
+// classification. It is synchronous; the caller typically runs
+// inet.Serve in another goroutine.
+func (c *Census) Run(targets []ipv4.Prefix) (*Result, error) {
+	if c.Transport == nil {
+		return nil, errors.New("probe: no transport")
+	}
+	batch := c.Batch
+	if batch <= 0 {
+		batch = 256
+	}
+	drain := c.DrainTimeout
+	if drain <= 0 {
+		drain = 20 * time.Millisecond
+	}
+	total := 0
+	for _, p := range targets {
+		total += int(p.Size())
+	}
+	if total == 0 {
+		return &Result{Observed: ipset.New()}, nil
+	}
+	res := &Result{Observed: ipset.New()}
+	span := c.End.Sub(c.Start)
+	sent := 0
+	inFlight := 0
+	for _, pfx := range targets {
+		hostBits := 32 - uint(pfx.Bits)
+		n := uint64(1) << hostBits
+		for i := uint64(0); i < n; i++ {
+			// Reversed-bit traversal within the prefix (§4.1).
+			off := ipv4.Addr(ipv4.ReverseBits(uint32(i)) >> (32 - hostBits))
+			if hostBits == 0 {
+				off = 0
+			}
+			dst := pfx.Base | off
+			at := c.Start
+			if span > 0 && total > 1 {
+				at = c.Start.Add(time.Duration(float64(span) * float64(sent) / float64(total-1)))
+			}
+			if err := c.sendProbe(dst, uint16(i), at); err != nil {
+				return nil, err
+			}
+			sent++
+			inFlight++
+			if inFlight >= batch {
+				c.drainResponses(res, drain)
+				inFlight = 0
+			}
+		}
+	}
+	// Final drain, a little longer to let stragglers arrive.
+	c.drainResponses(res, 2*drain)
+	res.Sent = sent
+	return res, nil
+}
+
+func (c *Census) sendProbe(dst ipv4.Addr, seq uint16, at time.Time) error {
+	var pkt *wire.Packet
+	switch c.Kind {
+	case TCP80:
+		port := c.Port
+		if port == 0 {
+			port = 80
+		}
+		pkt = wire.SYN(c.Src, dst, 40000+seq%16384, port, uint32(seq))
+	default:
+		pkt = wire.EchoRequest(c.Src, dst, c.ID, seq)
+	}
+	// Piggyback the simulated send time in the IP ID field's packet; the
+	// responder keys rate limiting off the now() function instead, so the
+	// ID simply deduplicates probes.
+	pkt.IP.ID = seq
+	b, err := pkt.Marshal()
+	if err != nil {
+		return err
+	}
+	if c.Capture != nil {
+		if err := c.Capture.WritePacket(at, b); err != nil {
+			return err
+		}
+	}
+	return c.Transport.Send(b)
+}
+
+func (c *Census) drainResponses(res *Result, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return
+		}
+		b, err := c.Transport.Recv(remain)
+		if err != nil {
+			return
+		}
+		pkt, err := wire.Unmarshal(b)
+		if err != nil {
+			continue
+		}
+		if c.Capture != nil {
+			// Stamp responses at the census end; the simulated clock does
+			// not track per-probe response latency.
+			_ = c.Capture.WritePacket(c.End, b)
+		}
+		res.Replies++
+		if used, addr := Classify(pkt, c.Kind, c.ID); used {
+			res.Observed.Add(addr)
+		} else {
+			res.Ignored++
+		}
+	}
+}
+
+// Classify applies §4.4's response rules and returns whether the response
+// proves an address is used, and which address. ICMP echo replies must
+// match the census ID.
+func Classify(pkt *wire.Packet, kind Kind, id uint16) (bool, ipv4.Addr) {
+	switch {
+	case pkt.ICMP != nil:
+		m := pkt.ICMP
+		switch m.Type {
+		case wire.ICMPEchoReply:
+			if kind == ICMP && m.ID == id {
+				return true, pkt.IP.Src
+			}
+		case wire.ICMPDestUnreachable:
+			if m.Code != wire.CodeProtoUnreachable && m.Code != wire.CodePortUnreachable {
+				return false, 0 // host/net unreachable etc.: unclear if used
+			}
+			// Count only when the host itself rejected the probe; errors
+			// relayed by routers do not prove the target is used.
+			if dst, ok := wire.QuotedDst(m.Payload); ok && dst == pkt.IP.Src {
+				return true, pkt.IP.Src
+			}
+		}
+		// TTL exceeded and everything else: ignored.
+	case pkt.TCP != nil:
+		t := pkt.TCP
+		if kind == TCP80 && t.Flags&wire.TCPFlagSYN != 0 && t.Flags&wire.TCPFlagACK != 0 {
+			return true, pkt.IP.Src
+		}
+		// RSTs are ignored: 25% come from firewalls covering whole blocks.
+	}
+	return false, 0
+}

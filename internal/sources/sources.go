@@ -1,0 +1,338 @@
+// Package sources simulates the paper's nine measurement datasets (§4.1,
+// Table 2): two active censuses (IPING, TPING) and seven passive logs
+// (WIKI, SPAM, MLAB, WEB, GAME, SWIN, CALT). Each source observes the
+// ground-truth universe through its own biased lens — client-heavy server
+// logs, ping-visible servers, NetFlow vantage points polluted with spoofed
+// traffic — producing per-window observation sets whose heterogeneity and
+// apparent dependence is exactly what the log-linear CR models must
+// overcome.
+package sources
+
+import (
+	"time"
+
+	"ghosts/internal/ipset"
+	"ghosts/internal/ipv4"
+	"ghosts/internal/rng"
+	"ghosts/internal/trie"
+	"ghosts/internal/universe"
+	"ghosts/internal/windows"
+)
+
+// Name identifies a data source.
+type Name string
+
+// The nine sources, in the paper's Table 2 order.
+const (
+	WIKI  Name = "WIKI"
+	SPAM  Name = "SPAM"
+	MLAB  Name = "MLAB"
+	WEB   Name = "WEB"
+	GAME  Name = "GAME"
+	SWIN  Name = "SWIN"
+	CALT  Name = "CALT"
+	IPING Name = "IPING"
+	TPING Name = "TPING"
+)
+
+// All lists the nine sources in canonical order.
+func All() []Name {
+	return []Name{WIKI, SPAM, MLAB, WEB, GAME, SWIN, CALT, IPING, TPING}
+}
+
+// spec describes one source's sampling behaviour.
+type spec struct {
+	// rate scales overall coverage; clientBias is the passive vantage
+	// (1 = pure client log, 0 = pure server-side view).
+	rate, clientBias float64
+	// available bounds collection (Table 2 "Time collected").
+	from, to time.Time
+	// census marks active probing sources.
+	census bool
+	// gaps lists collection outages (the paper mentions "a gap in the
+	// GAME data collection" that depressed early observed counts, §6.3).
+	gaps []windows.Window
+	// vis is the per-/24 visibility: the probability that this vantage
+	// point ever exchanges traffic with a given /24. Real sources cover
+	// wildly different /24 fractions (Table 2: WIKI reaches ≈35% of the
+	// observed /24s, WEB/GAME ≈70%); 0 means 1 (censuses sweep everything
+	// and are limited by shielding instead).
+	vis float64
+	// netflow marks sources with spoofed-source pollution (§4.5).
+	netflow bool
+	// spoofPer8 is the number of spoofed addresses injected per routed
+	// /8-equivalent per window (the paper's S: 10,000–15,000 for SWIN;
+	// 15,000–20,000 for CALT, spiking to ≈250,000 in March 2014).
+	spoofPer8 float64
+}
+
+func date(y, m int) time.Time { return time.Date(y, time.Month(m), 1, 0, 0, 0, 0, time.UTC) }
+
+var specs = map[Name]spec{
+	WIKI: {rate: 0.32, clientBias: 0.95, vis: 0.35, from: date(2011, 1), to: date(2014, 7)},
+	SPAM: {rate: 0.88, clientBias: 0.80, vis: 0.30, from: date(2012, 5), to: date(2014, 7)},
+	MLAB: {rate: 0.75, clientBias: 0.95, vis: 0.45, from: date(2011, 1), to: date(2014, 7)},
+	WEB:  {rate: 1.28, clientBias: 0.97, vis: 0.70, from: date(2011, 3), to: date(2014, 7)},
+	GAME: {rate: 1.14, clientBias: 0.98, vis: 0.70, from: date(2011, 1), to: date(2014, 7),
+		gaps: []windows.Window{{Start: date(2012, 7), End: date(2012, 11)}}},
+	SWIN:  {rate: 1.87, clientBias: 0.72, vis: 0.60, from: date(2011, 1), to: date(2014, 7), netflow: true, spoofPer8: 6000},
+	CALT:  {rate: 1.55, clientBias: 0.65, vis: 0.68, from: date(2013, 6), to: date(2014, 7), netflow: true, spoofPer8: 9000},
+	IPING: {census: true, from: date(2011, 3), to: date(2014, 7)},
+	TPING: {census: true, from: date(2012, 3), to: date(2014, 7)},
+}
+
+// Observation is one source's view of one window.
+type Observation struct {
+	Name  Name
+	Addrs *ipset.Set
+}
+
+// Suite generates observations for all sources over a universe.
+type Suite struct {
+	U    *universe.Universe
+	Seed uint64
+	// Loss is the probe-loss rate applied to censuses.
+	Loss float64
+	// SpoofScale multiplies the netflow spoof injection (1 = default; 0
+	// disables spoofing, for ablations and Figure 2's comparison).
+	SpoofScale float64
+}
+
+// NewSuite returns a Suite with the default configuration.
+func NewSuite(u *universe.Universe, seed uint64) *Suite {
+	return &Suite{U: u, Seed: seed, Loss: 0.02, SpoofScale: 1}
+}
+
+// availFraction returns how much of the window the source was collecting,
+// after subtracting any collection gaps.
+func availFraction(sp spec, w windows.Window) float64 {
+	start, end := w.Start, w.End
+	if sp.from.After(start) {
+		start = sp.from
+	}
+	if sp.to.Before(end) {
+		end = sp.to
+	}
+	if !start.Before(end) {
+		return 0
+	}
+	active := end.Sub(start).Hours()
+	for _, g := range sp.gaps {
+		gs, ge := g.Start, g.End
+		if gs.Before(start) {
+			gs = start
+		}
+		if ge.After(end) {
+			ge = end
+		}
+		if gs.Before(ge) {
+			active -= ge.Sub(gs).Hours()
+		}
+	}
+	if active <= 0 {
+		return 0
+	}
+	return active / w.End.Sub(w.Start).Hours()
+}
+
+// Collect produces the observation of source n over window w. Routed is
+// the aggregated routed table for the window, used to filter passive
+// observations (§4.4); pass nil to skip filtering.
+//
+// Per-address sampling decisions are keyed hashes of (seed, source,
+// window, address), so Collect(n) and CollectAll produce identical sets.
+func (s *Suite) Collect(n Name, w windows.Window, routed *trie.Trie) Observation {
+	sp, ok := specs[n]
+	if !ok {
+		return Observation{Name: n, Addrs: ipset.New()}
+	}
+	frac := availFraction(sp, w)
+	out := ipset.New()
+	if frac == 0 {
+		return Observation{Name: n, Addrs: out}
+	}
+	key := s.Seed ^ hashName(n) ^ uint64(w.End.Unix())
+	s.U.RangeUsed(w.End, func(a ipv4.Addr, _ float64) bool {
+		af := s.U.ActiveFraction(a, w.Start, w.End)
+		if hash01(key, uint64(a)) < s.seenProb(n, sp, a, frac, af) {
+			out.Add(a)
+		}
+		return true
+	})
+	if sp.netflow {
+		r := rng.New(key)
+		s.injectSpoofed(sp, w, frac, r, out)
+	}
+	s.filterRouted(out, routed)
+	return Observation{Name: n, Addrs: out}
+}
+
+// CollectAll runs every source over the window in a single pass over the
+// ground-truth population; the per-source sets are bit-identical to what
+// nine separate Collect calls would produce.
+func (s *Suite) CollectAll(w windows.Window, routed *trie.Trie) []Observation {
+	names := All()
+	type srcState struct {
+		sp   spec
+		frac float64
+		key  uint64
+		out  *ipset.Set
+	}
+	states := make([]srcState, len(names))
+	for i, n := range names {
+		sp := specs[n]
+		states[i] = srcState{
+			sp:   sp,
+			frac: availFraction(sp, w),
+			key:  s.Seed ^ hashName(n) ^ uint64(w.End.Unix()),
+			out:  ipset.New(),
+		}
+	}
+	s.U.RangeUsed(w.End, func(a ipv4.Addr, _ float64) bool {
+		af := s.U.ActiveFraction(a, w.Start, w.End)
+		for i := range states {
+			st := &states[i]
+			if st.frac == 0 {
+				continue
+			}
+			if hash01(st.key, uint64(a)) < s.seenProb(names[i], st.sp, a, st.frac, af) {
+				st.out.Add(a)
+			}
+		}
+		return true
+	})
+	obs := make([]Observation, len(names))
+	for i, n := range names {
+		st := &states[i]
+		if st.sp.netflow && st.frac > 0 {
+			r := rng.New(st.key)
+			s.injectSpoofed(st.sp, w, st.frac, r, st.out)
+		}
+		s.filterRouted(st.out, routed)
+		obs[i] = Observation{Name: n, Addrs: st.out}
+	}
+	return obs
+}
+
+// seenProb is the probability that source n logs address a during a window
+// where a was active for fraction af, with availability fraction frac.
+func (s *Suite) seenProb(n Name, sp spec, a ipv4.Addr, frac, af float64) float64 {
+	u := s.U
+	if !sp.census {
+		// Per-(source, /24) visibility gate: routing locality and service
+		// mix make whole subnets invisible to individual vantage points
+		// (Table 2's very different per-source /24 coverage).
+		vis := sp.vis
+		if vis <= 0 {
+			vis = 1
+		}
+		if hash01(s.Seed^hashName(n)^0x24a7, uint64(a.Slash24Index())) >= vis {
+			return 0
+		}
+		return u.ObservableBy(a, sp.rate*frac, sp.clientBias, af)
+	}
+	var responds bool
+	if n == IPING {
+		responds = u.RespondsICMP(a) || u.RespondsUnreachable(a)
+	} else {
+		responds = !u.FirewallRSTBlock(a) &&
+			(u.RespondsTCP80(a) || (!u.RespondsICMP(a) && u.RespondsUnreachable(a)))
+	}
+	if !responds {
+		return 0
+	}
+	// The census only sees hosts active when their /24 was swept;
+	// censuses run twice a year, so a host activating late in the window
+	// may be missed. Loss adds a little noise on top.
+	return frac * (0.25 + 0.75*af) * (1 - s.Loss)
+}
+
+// filterRouted drops observations outside the aggregated routed space
+// (§4.4 preprocessing); nil disables filtering.
+func (s *Suite) filterRouted(out *ipset.Set, routed *trie.Trie) {
+	if routed == nil {
+		return
+	}
+	var drop []ipv4.Addr
+	out.Range(func(a ipv4.Addr) bool {
+		if !routed.Contains(a) {
+			drop = append(drop, a)
+		}
+		return true
+	})
+	for _, a := range drop {
+		out.Remove(a)
+	}
+}
+
+// hash01 returns a uniform [0,1) keyed hash (splitmix64).
+func hash01(key, x uint64) float64 {
+	z := key ^ (x * 0xbf58476d1ce4e5b9)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// injectSpoofed adds uniformly distributed spoofed source addresses to a
+// NetFlow source (§4.5: DDoS attacks and decoy scans draw source addresses
+// uniformly at random, including from completely unused /8s). On the wire
+// the spoofed addresses are uniform over the whole 32-bit space; the ones
+// in unrouted or unallocated space are removed by preprocessing, so the
+// effective pollution is uniform over the routed space — which is what
+// this draws directly, for efficiency.
+func (s *Suite) injectSpoofed(sp spec, w windows.Window, frac float64, r *rng.RNG, out *ipset.Set) {
+	scale := s.SpoofScale
+	if scale == 0 {
+		return
+	}
+	// CALT's spoofed volume spiked roughly tenfold in March 2014 (§4.5),
+	// the event that makes unfiltered estimates blow up in Figure 2. The
+	// simulated spike is gentler (×4): at reduced scale the genuine
+	// per-/8 counts are far smaller than the paper's, so the relative
+	// spoof pressure is already much higher.
+	per8 := sp.spoofPer8
+	if sp.spoofPer8 >= 9000 && !w.End.Before(date(2014, 3)) {
+		per8 *= 4
+	}
+	// Cumulative routed sizes for uniform sampling over the routed space.
+	idxs := s.U.RoutedAllocs(w.End)
+	if len(idxs) == 0 {
+		return
+	}
+	cum := make([]uint64, len(idxs))
+	var total uint64
+	for i, idx := range idxs {
+		total += s.U.Reg.Allocs[idx].Prefix.Size()
+		cum[i] = total
+	}
+	n := int(per8 * scale * frac * float64(total) / float64(uint64(1)<<24))
+	for i := 0; i < n; i++ {
+		k := r.Uint64n(total)
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] <= k {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		p := s.U.Reg.Allocs[idxs[lo]].Prefix
+		off := k
+		if lo > 0 {
+			off -= cum[lo-1]
+		}
+		out.Add(p.First() + ipv4.Addr(off))
+	}
+}
+
+func hashName(n Name) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(n); i++ {
+		h ^= uint64(n[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,226 @@
+// Package spoof implements the paper's two-stage heuristic for removing
+// spoofed source addresses from NetFlow-derived datasets (§4.5).
+//
+// Stage 1 removes whole /24 subnets that (a) contain fewer than m observed
+// addresses and (b) share no address with the spoof-free reference sources;
+// m is the smallest k for which P(X > k) < 1e-8 under X ~ Binomial(256, p),
+// with p estimated from the spoofed-address density S observed in
+// allocated-but-empty blocks.
+//
+// Stage 2 removes residual spoofed addresses inside genuinely-used /24s:
+// within each /8, Bayes' rule combines the per-/8 valid-address probability
+// P(V) with the final-byte distribution P(B|V) learned from the spoof-free
+// sources (spoofed bytes are uniform, P(B|¬V) = 1/256), and each address is
+// kept with probability P(V|B).
+package spoof
+
+import (
+	"math"
+
+	"ghosts/internal/ipset"
+	"ghosts/internal/ipv4"
+	"ghosts/internal/rng"
+)
+
+// FalsePositiveBound is the paper's threshold probability: m is chosen so
+// that a fully-spoofed /24 survives stage 1 with probability < 1e-8.
+const FalsePositiveBound = 1e-8
+
+// EstimateSPer8 estimates S, the number of spoofed addresses per
+// /8-equivalent, from the dataset's density in allocated-but-unused blocks
+// (§4.5's 'empty /8s'; at reduced scale the blocks may be smaller, so the
+// count is scaled to a /8).
+func EstimateSPer8(data *ipset.Set, empty []ipv4.Prefix) float64 {
+	if len(empty) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, p := range empty {
+		n := float64(data.CountInPrefix(p))
+		total += n * float64(uint64(1)<<24) / float64(p.Size())
+	}
+	return total / float64(len(empty))
+}
+
+// Threshold computes m: the smallest k with P(X > k) < FalsePositiveBound
+// for X ~ Binomial(256, sPer8/2^24).
+func Threshold(sPer8 float64) int {
+	p := sPer8 / float64(uint64(1)<<24)
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 256
+	}
+	// Walk the binomial CDF; 256 trials is tiny.
+	q := 1 - p
+	pmf := math.Pow(q, 256) // P(X = 0)
+	cdf := pmf
+	for k := 0; k < 256; k++ {
+		if 1-cdf < FalsePositiveBound {
+			return k + 1 // first count that real /24s must reach
+		}
+		// P(X = k+1) from P(X = k).
+		pmf *= float64(256-k) / float64(k+1) * p / q
+		cdf += pmf
+	}
+	return 256
+}
+
+// Stats reports what the filter did.
+type Stats struct {
+	SPer8          float64 // estimated spoofed addresses per /8
+	M              int     // stage-1 threshold
+	RemovedSubnets int     // /24s removed outright
+	RemovedAddrs   int64   // addresses removed with those /24s
+	Stage2Removed  int64   // addresses removed by Bayesian byte filtering
+	KeptAddrs      int64
+}
+
+// Filter holds the learned reference distributions.
+type Filter struct {
+	// SpoofFree is the union of the spoof-free server-log datasets (the
+	// paper uses WIKI, WEB, MLAB and GAME) used for the stage-1 overlap
+	// test.
+	SpoofFree *ipset.Set
+	// Empty lists the allocated-but-unused blocks for estimating S.
+	Empty []ipv4.Prefix
+	// Seed drives the probabilistic stage-2 removals.
+	Seed uint64
+
+	pByte [256]float64 // P(B|V)
+}
+
+// New builds a filter. spoofFree is the union used for the stage-1 overlap
+// test; byteRef is the union used to estimate P(B|V) — the paper uses "the
+// IPs observed by all sources except SWIN and CALT", which crucially
+// includes the censuses (client-biased logs alone would under-represent
+// the .1/.254 router bytes). Pass nil to reuse spoofFree.
+func New(spoofFree *ipset.Set, byteRef *ipset.Set, empty []ipv4.Prefix, seed uint64) *Filter {
+	f := &Filter{SpoofFree: spoofFree, Empty: empty, Seed: seed}
+	if byteRef == nil {
+		byteRef = spoofFree
+	}
+	var hist [256]int64
+	byteRef.LastByteHistogram(&hist)
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	for b := 0; b < 256; b++ {
+		if total > 0 {
+			// Laplace smoothing keeps rare bytes from being annihilated.
+			f.pByte[b] = (float64(hist[b]) + 1) / (float64(total) + 256)
+		} else {
+			f.pByte[b] = 1.0 / 256
+		}
+	}
+	return f
+}
+
+// Clean returns the filtered copy of data along with filter statistics.
+func (f *Filter) Clean(data *ipset.Set) (*ipset.Set, Stats) {
+	var st Stats
+	st.SPer8 = EstimateSPer8(data, f.Empty)
+	st.M = Threshold(st.SPer8)
+
+	out := data.Clone()
+	// Stage 1: drop sparse /24s with no spoof-free corroboration. The
+	// removals are recorded per /8 so stage 2 can compute S'_i.
+	removedPer8 := make(map[uint32]int64)
+	type victim struct {
+		base ipv4.Addr
+		n    int
+	}
+	var victims []victim
+	out.RangeSlash24(func(base ipv4.Addr, count int) bool {
+		if count >= st.M {
+			return true
+		}
+		if f.overlapsSpoofFree(out, base) {
+			return true
+		}
+		victims = append(victims, victim{base, count})
+		return true
+	})
+	for _, v := range victims {
+		out.RemoveSlash24(v.base)
+		removedPer8[uint32(v.base)>>24] += int64(v.n)
+		st.RemovedSubnets++
+		st.RemovedAddrs += int64(v.n)
+	}
+
+	// Stage 2: residual spoofed addresses in kept /24s. Per /8 prefix i,
+	// S'_i = S − removed_i; P(V) ≈ (T_i − S'_i)/T_i.
+	r := rng.New(f.Seed)
+	perByteKeep := make(map[uint32][256]float64)
+	var t8 [256]int64 // observed count per /8 after stage 1
+	out.RangeSlash24(func(base ipv4.Addr, count int) bool {
+		t8[uint32(base)>>24] += int64(count)
+		return true
+	})
+	var drop []ipv4.Addr
+	out.Range(func(a ipv4.Addr) bool {
+		oct := uint32(a) >> 24
+		keep, ok := perByteKeep[oct]
+		if !ok {
+			keep = f.keepProbs(st.SPer8, removedPer8[oct], t8[oct])
+			perByteKeep[oct] = keep
+		}
+		if !r.Bernoulli(keep[a.LastByte()]) {
+			drop = append(drop, a)
+		}
+		return true
+	})
+	for _, a := range drop {
+		out.Remove(a)
+	}
+	st.Stage2Removed = int64(len(drop))
+	st.KeptAddrs = int64(out.Len())
+	return out, st
+}
+
+// keepProbs computes P(V|B) for all last bytes within one /8.
+func (f *Filter) keepProbs(sPer8 float64, removed int64, observed int64) [256]float64 {
+	var keep [256]float64
+	sResid := sPer8 - float64(removed)
+	if sResid < 0 {
+		sResid = 0
+	}
+	if observed <= 0 || sResid == 0 {
+		for b := range keep {
+			keep[b] = 1
+		}
+		return keep
+	}
+	pv := (float64(observed) - sResid) / float64(observed)
+	// Floor P(V): when the residual spoof estimate rivals the /8's whole
+	// observation count (possible in small strata or at reduced scale),
+	// annihilating the /8 would be worse than keeping a conservative
+	// fraction of its corroborable bytes.
+	if pv < 0.05 {
+		pv = 0.05
+	}
+	for b := 0; b < 256; b++ {
+		num := pv * f.pByte[b]
+		den := num + (1-pv)/256
+		if den <= 0 {
+			keep[b] = 0
+			continue
+		}
+		keep[b] = num / den
+	}
+	return keep
+}
+
+// overlapsSpoofFree reports whether any address of the /24 containing base
+// appears in the spoof-free reference union.
+func (f *Filter) overlapsSpoofFree(data *ipset.Set, base ipv4.Addr) bool {
+	for b := 0; b < 256; b++ {
+		a := base | ipv4.Addr(b)
+		if data.Contains(a) && f.SpoofFree.Contains(a) {
+			return true
+		}
+	}
+	return false
+}

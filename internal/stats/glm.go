@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// GLMResult holds the fitted Poisson regression.
+type GLMResult struct {
+	Coef       []float64 // coefficient per design column
+	Fitted     []float64 // fitted Poisson rate λ_i per row
+	LogLik     float64   // maximised log-likelihood (full, incl. constants)
+	Iterations int
+	Converged  bool
+}
+
+// maxEta bounds the linear predictor so exp never overflows; e^30 ≈ 1e13
+// comfortably exceeds any count in the IPv4 space.
+const maxEta = 30
+
+// FitPoissonGLM fits a log-link Poisson regression of counts y on the
+// design matrix x by Fisher scoring. limits optionally gives a right
+// truncation bound per observation (§3.3.1); pass nil or +Inf entries for
+// plain Poisson cells. Rows are cells of the capture-history contingency
+// table, so n is small (2^t − 1) and dense algebra is appropriate.
+func FitPoissonGLM(x [][]float64, y []float64, limits []float64) (*GLMResult, error) {
+	return FitPoissonGLMInit(x, y, limits, nil)
+}
+
+// FitPoissonGLMInit is FitPoissonGLM with warm-start coefficients; the
+// stepwise model search passes the parent model's fit (with a zero for the
+// added column), typically cutting Fisher iterations several-fold.
+func FitPoissonGLMInit(x [][]float64, y []float64, limits []float64, init []float64) (*GLMResult, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, errors.New("stats: empty design or dimension mismatch")
+	}
+	p := len(x[0])
+	if p == 0 || p > n {
+		return nil, errors.New("stats: design must have 1..n columns")
+	}
+	lim := func(i int) float64 {
+		if limits == nil {
+			return math.Inf(1)
+		}
+		return limits[i]
+	}
+
+	coef := make([]float64, p)
+	if len(init) == p {
+		copy(coef, init)
+	} else {
+		// Initialise the intercept (assumed to be column 0 when it is
+		// constant 1; harmless otherwise) at log of the mean count.
+		meanY := 0.0
+		for _, v := range y {
+			meanY += v
+		}
+		meanY /= float64(n)
+		if meanY <= 0 {
+			meanY = 0.5
+		}
+		coef[0] = math.Log(meanY)
+	}
+
+	// Σ ln(y_i!) is constant across iterations; hoist it out of the
+	// likelihood evaluations.
+	var logFactSum float64
+	for _, v := range y {
+		logFactSum += LogFactorial(v)
+	}
+	ll := glmLogLik(x, y, limits, coef, logFactSum)
+	var it int
+	converged := false
+	for it = 0; it < 200; it++ {
+		// Score and Fisher information at the current coefficients.
+		eta := make([]float64, n)
+		mu := make([]float64, n)  // truncated mean
+		wgt := make([]float64, n) // truncated variance
+		for i := 0; i < n; i++ {
+			e := dot(x[i], coef)
+			if e > maxEta {
+				e = maxEta
+			} else if e < -maxEta {
+				e = -maxEta
+			}
+			eta[i] = e
+			tp := TruncPoisson{Lambda: math.Exp(e), Limit: lim(i)}
+			mu[i] = tp.Mean()
+			w := tp.Variance()
+			if w < 1e-10 {
+				w = 1e-10
+			}
+			wgt[i] = w
+		}
+		// Normal equations: (XᵀWX) δ = Xᵀ(y − μ).
+		xtwx := make([][]float64, p)
+		for a := range xtwx {
+			xtwx[a] = make([]float64, p)
+		}
+		xtr := make([]float64, p)
+		for i := 0; i < n; i++ {
+			r := y[i] - mu[i]
+			for a := 0; a < p; a++ {
+				va := x[i][a]
+				if va == 0 {
+					continue
+				}
+				xtr[a] += va * r
+				wa := wgt[i] * va
+				row := xtwx[a]
+				for b := a; b < p; b++ {
+					row[b] += wa * x[i][b]
+				}
+			}
+		}
+		for a := 1; a < p; a++ {
+			for b := 0; b < a; b++ {
+				xtwx[a][b] = xtwx[b][a]
+			}
+		}
+		delta, err := SolveSPD(xtwx, xtr)
+		if err != nil {
+			return nil, err
+		}
+		// Step halving: accept the longest step that does not reduce the
+		// log-likelihood.
+		step := 1.0
+		var next []float64
+		var nextLL float64
+		improved := false
+		for h := 0; h < 30; h++ {
+			cand := make([]float64, p)
+			for j := range cand {
+				cand[j] = coef[j] + step*delta[j]
+			}
+			candLL := glmLogLik(x, y, limits, cand, logFactSum)
+			if candLL >= ll-1e-12 && !math.IsNaN(candLL) {
+				next, nextLL, improved = cand, candLL, true
+				break
+			}
+			step /= 2
+		}
+		if !improved {
+			break
+		}
+		done := math.Abs(nextLL-ll) < 1e-9*(math.Abs(ll)+1)
+		coef, ll = next, nextLL
+		if done {
+			converged = true
+			break
+		}
+	}
+
+	fitted := make([]float64, n)
+	for i := range fitted {
+		e := dot(x[i], coef)
+		if e > maxEta {
+			e = maxEta
+		}
+		fitted[i] = math.Exp(e)
+	}
+	return &GLMResult{
+		Coef:       coef,
+		Fitted:     fitted,
+		LogLik:     ll,
+		Iterations: it + 1,
+		Converged:  converged,
+	}, nil
+}
+
+// glmLogLik evaluates the (possibly right-truncated) Poisson
+// log-likelihood of counts y under coefficients coef; logFactSum is the
+// precomputed Σ ln(y_i!).
+func glmLogLik(x [][]float64, y []float64, limits []float64, coef []float64, logFactSum float64) float64 {
+	ll := -logFactSum
+	for i := range x {
+		e := dot(x[i], coef)
+		if e > maxEta {
+			e = maxEta
+		} else if e < -maxEta {
+			e = -maxEta
+		}
+		lambda := math.Exp(e)
+		ll += y[i]*e - lambda
+		if limits != nil && !math.IsInf(limits[i], 1) && !TruncationNegligible(limits[i], lambda) {
+			ll -= LogPoissonCDF(limits[i], lambda)
+		}
+	}
+	return ll
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ghosts/internal/rng"
+)
+
+func TestGLMInterceptOnly(t *testing.T) {
+	// With only an intercept, the MLE rate is the sample mean.
+	y := []float64{3, 5, 7, 9}
+	x := [][]float64{{1}, {1}, {1}, {1}}
+	res, err := FitPoissonGLM(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("intercept-only fit should converge")
+	}
+	approx(t, "exp(coef)", math.Exp(res.Coef[0]), 6, 1e-6)
+}
+
+func TestGLMTwoGroups(t *testing.T) {
+	// Two groups with separate means: saturated fit recovers both exactly.
+	x := [][]float64{{1, 0}, {1, 0}, {1, 1}, {1, 1}}
+	y := []float64{10, 14, 100, 140}
+	res, err := FitPoissonGLM(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "group 0 rate", res.Fitted[0], 12, 1e-5)
+	approx(t, "group 1 rate", res.Fitted[2], 120, 1e-3)
+}
+
+func TestGLMRecoversSimulatedCoefficients(t *testing.T) {
+	// Simulate y ~ Poisson(exp(b0 + b1 x1 + b2 x2)) and check recovery.
+	r := rng.New(99)
+	trueCoef := []float64{2.0, 0.7, -0.4}
+	const n = 2000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1 := r.Float64()*2 - 1
+		x2 := r.Float64()*2 - 1
+		x[i] = []float64{1, x1, x2}
+		lambda := math.Exp(trueCoef[0] + trueCoef[1]*x1 + trueCoef[2]*x2)
+		y[i] = float64(r.Poisson(lambda))
+	}
+	res, err := FitPoissonGLM(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range trueCoef {
+		if math.Abs(res.Coef[j]-want) > 0.08 {
+			t.Errorf("coef[%d] = %v, want ≈%v", j, res.Coef[j], want)
+		}
+	}
+}
+
+func TestGLMTruncatedBiasCorrection(t *testing.T) {
+	// Right-truncated observations: a plain Poisson fit of truncated data
+	// underestimates λ; the truncated likelihood recovers it.
+	r := rng.New(7)
+	const lambda = 10.0
+	const limit = 11.0
+	const n = 4000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	limits := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{1}
+		limits[i] = limit
+		for {
+			v := float64(r.Poisson(lambda))
+			if v <= limit {
+				y[i] = v
+				break
+			}
+		}
+	}
+	plain, err := FitPoissonGLM(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := FitPoissonGLM(x, y, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRate := math.Exp(plain.Coef[0])
+	truncRate := math.Exp(trunc.Coef[0])
+	if plainRate >= lambda-0.3 {
+		t.Fatalf("plain fit should underestimate: got %v", plainRate)
+	}
+	if math.Abs(truncRate-lambda) > 0.4 {
+		t.Fatalf("truncated fit should recover λ=10: got %v", truncRate)
+	}
+	if trunc.LogLik < plain.LogLik {
+		// The truncated likelihood includes the -ln F terms, so it is the
+		// correct model's likelihood; it should not be worse than the
+		// misspecified one evaluated on its own scale. (Not directly
+		// comparable in general, but for sanity both must be finite.)
+		if math.IsInf(trunc.LogLik, 0) || math.IsNaN(trunc.LogLik) {
+			t.Fatal("truncated log-likelihood must be finite")
+		}
+	}
+}
+
+func TestGLMErrors(t *testing.T) {
+	if _, err := FitPoissonGLM(nil, nil, nil); err == nil {
+		t.Fatal("empty design should fail")
+	}
+	if _, err := FitPoissonGLM([][]float64{{1}}, []float64{1, 2}, nil); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+	if _, err := FitPoissonGLM([][]float64{{1, 0}, {1, 1}}, []float64{1}, nil); err == nil {
+		t.Fatal("mismatched y should fail")
+	}
+}
+
+func TestGLMZeroCounts(t *testing.T) {
+	// All-zero cells must not break the fit (rates go to ~0).
+	x := [][]float64{{1}, {1}, {1}}
+	y := []float64{0, 0, 0}
+	res, err := FitPoissonGLM(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitted[0] > 0.01 {
+		t.Fatalf("fitted rate for all-zero data = %v, want ≈0", res.Fitted[0])
+	}
+}
+
+func TestGLMLargeCounts(t *testing.T) {
+	// Counts at IPv4 scale must not overflow.
+	x := [][]float64{{1, 0}, {1, 1}}
+	y := []float64{3e8, 7e8}
+	res, err := FitPoissonGLM(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "rate 0", res.Fitted[0], 3e8, 1)
+	approx(t, "rate 1", res.Fitted[1], 7e8, 3)
+}
+
+func BenchmarkGLMFit(b *testing.B) {
+	r := rng.New(3)
+	const n = 127 // 2^7-1 cells: a 7-source contingency table
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{1, r.Float64(), r.Float64(), r.Float64()}
+		y[i] = float64(r.Poisson(50))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitPoissonGLM(x, y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

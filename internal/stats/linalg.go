@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no usable solution.
+var ErrSingular = errors.New("stats: singular matrix")
+
+// Solve solves the dense linear system A x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified. It returns ErrSingular when a
+// pivot falls below a conservative tolerance.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("stats: dimension mismatch")
+	}
+	// Copy into an augmented working matrix.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, errors.New("stats: non-square matrix")
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// SolveSPD solves A x = b for a symmetric positive-definite A via Cholesky
+// decomposition; when A is not numerically SPD it retries with a small
+// ridge on the diagonal and finally falls back to Solve. Fisher-scoring
+// normal equations XᵀWX u = Xᵀr are SPD whenever the design has full rank.
+func SolveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("stats: dimension mismatch")
+	}
+	for _, ridge := range []float64{0, 1e-10, 1e-7, 1e-4} {
+		l, ok := cholesky(a, ridge)
+		if !ok {
+			continue
+		}
+		// Solve L y = b, then Lᵀ x = y.
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := b[i]
+			for j := 0; j < i; j++ {
+				s -= l[i][j] * y[j]
+			}
+			y[i] = s / l[i][i]
+		}
+		x := make([]float64, n)
+		for i := n - 1; i >= 0; i-- {
+			s := y[i]
+			for j := i + 1; j < n; j++ {
+				s -= l[j][i] * x[j]
+			}
+			x[i] = s / l[i][i]
+		}
+		return x, nil
+	}
+	return Solve(a, b)
+}
+
+// cholesky computes the lower factor of a + ridge·I, reporting failure when
+// a diagonal pivot is non-positive.
+func cholesky(a [][]float64, ridge float64) ([][]float64, bool) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a[i][j]
+			if i == j {
+				s += ridge
+			}
+			for k := 0; k < j; k++ {
+				s -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, false
+				}
+				l[i][j] = math.Sqrt(s)
+			} else {
+				l[i][j] = s / l[j][j]
+			}
+		}
+	}
+	return l, true
+}
+
+// MatVec returns A x.
+func MatVec(a [][]float64, x []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, row := range a {
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}

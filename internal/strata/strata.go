@@ -1,0 +1,155 @@
+// Package strata splits observation sets into the paper's strata (§3.4):
+// RIR, country, allocation prefix size, industry, allocation age, and
+// static/dynamic assignment. Stratified CR estimation fits each stratum
+// separately and sums (§6.2, Table 5); the per-stratum splits also drive
+// the growth breakdowns of Figures 6–9.
+package strata
+
+import (
+	"strconv"
+
+	"ghosts/internal/ipset"
+	"ghosts/internal/ipv4"
+	"ghosts/internal/universe"
+)
+
+// Key selects a stratification.
+type Key int
+
+// The paper's six stratifications.
+const (
+	ByRIR Key = iota
+	ByCountry
+	ByPrefix
+	ByAge
+	ByIndustry
+	ByStaticDyn
+)
+
+var keyNames = [...]string{"RIR", "Country", "Prefix size", "Age", "Industry", "Stat/Dyn"}
+
+func (k Key) String() string {
+	if k < 0 || int(k) >= len(keyNames) {
+		return "unknown"
+	}
+	return keyNames[k]
+}
+
+// Keys lists all stratifications in Table 5 order.
+func Keys() []Key {
+	return []Key{ByRIR, ByCountry, ByAge, ByPrefix, ByIndustry, ByStaticDyn}
+}
+
+// Label returns the stratum label of address a under key k, or false when
+// the address has no covering allocation.
+func Label(u *universe.Universe, a ipv4.Addr, k Key) (string, bool) {
+	al := u.Reg.Lookup(a)
+	if al == nil {
+		return "", false
+	}
+	switch k {
+	case ByRIR:
+		return al.RIR.String(), true
+	case ByCountry:
+		return al.Country, true
+	case ByPrefix:
+		return "/" + strconv.Itoa(al.Prefix.Bits), true
+	case ByAge:
+		return strconv.Itoa(al.Date.Year()), true
+	case ByIndustry:
+		return al.Industry.String(), true
+	case ByStaticDyn:
+		if u.IsDynamic(a) {
+			return "dynamic", true
+		}
+		return "static", true
+	default:
+		return "", false
+	}
+}
+
+// Split partitions each of the parallel source sets by stratum label. The
+// result maps label → per-source sets (same order and length as sets).
+// Addresses outside any allocation are dropped (they cannot be labelled).
+//
+// Labels are allocation-granular for every key except ByStaticDyn (which
+// is /24-granular); lookups are cached per /24, which all keys respect
+// since allocations are /24-aligned or larger.
+func Split(u *universe.Universe, sets []*ipset.Set, k Key) map[string][]*ipset.Set {
+	out := make(map[string][]*ipset.Set)
+	cache := make(map[uint32]string)
+	get := func(label string) []*ipset.Set {
+		g, ok := out[label]
+		if !ok {
+			g = make([]*ipset.Set, len(sets))
+			for i := range g {
+				g[i] = ipset.New()
+			}
+			out[label] = g
+		}
+		return g
+	}
+	for i, s := range sets {
+		s.Range(func(a ipv4.Addr) bool {
+			key24 := a.Slash24Index()
+			label, ok := cache[key24]
+			if !ok {
+				var has bool
+				label, has = Label(u, a, k)
+				if !has {
+					label = ""
+				}
+				cache[key24] = label
+			}
+			if label == "" {
+				return true
+			}
+			get(label)[i].Add(a)
+			return true
+		})
+	}
+	return out
+}
+
+// Size holds a stratum's share of the routed space, used as the
+// right-truncation bound for its CR fit.
+type Size struct {
+	Addrs   uint64
+	Slash24 uint64
+}
+
+// RoutedSizes returns, per stratum label, the routed space belonging to
+// that stratum at time end. Static/dynamic is apportioned by the /24
+// dynamic fraction of each allocation.
+func RoutedSizes(u *universe.Universe, k Key, idxs []int) map[string]Size {
+	out := make(map[string]Size)
+	for _, idx := range idxs {
+		al := &u.Reg.Allocs[idx]
+		p := al.Prefix
+		if k == ByStaticDyn {
+			// Walk the /24s: dynamic-ness is /24-granular.
+			lo, hi := p.First().Slash24Index(), p.Last().Slash24Index()
+			for key := lo; key <= hi; key++ {
+				base := ipv4.Addr(key << 8)
+				label := "static"
+				if u.IsDynamic(base) {
+					label = "dynamic"
+				}
+				sz := out[label]
+				sz.Addrs += 256
+				sz.Slash24++
+				out[label] = sz
+			}
+			continue
+		}
+		label, ok := Label(u, p.First(), k)
+		if !ok {
+			continue
+		}
+		sz := out[label]
+		sz.Addrs += p.Size()
+		sz.Slash24 += uint64(p.Slash24Count())
+		out[label] = sz
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package strata
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ghosts/internal/ipset"
+	"ghosts/internal/ipv4"
+	"ghosts/internal/universe"
+)
+
+func testU() *universe.Universe { return universe.New(universe.TinyConfig(8)) }
+
+func at() time.Time { return time.Date(2014, 6, 30, 0, 0, 0, 0, time.UTC) }
+
+func TestLabelKeys(t *testing.T) {
+	u := testU()
+	var a ipv4.Addr
+	u.UsedAt(at()).Range(func(x ipv4.Addr) bool {
+		a = x
+		return false
+	})
+	al := u.Reg.Lookup(a)
+	if al == nil {
+		t.Fatal("used address without allocation")
+	}
+	cases := []struct {
+		k    Key
+		want string
+	}{
+		{ByRIR, al.RIR.String()},
+		{ByCountry, al.Country},
+		{ByPrefix, "/"},
+		{ByAge, ""},
+		{ByIndustry, al.Industry.String()},
+	}
+	for _, c := range cases {
+		got, ok := Label(u, a, c.k)
+		if !ok {
+			t.Fatalf("Label(%v) not found", c.k)
+		}
+		if c.k == ByPrefix && !strings.HasPrefix(got, "/") {
+			t.Errorf("prefix label %q", got)
+		}
+		if c.k == ByAge {
+			if len(got) != 4 {
+				t.Errorf("age label %q not a year", got)
+			}
+			continue
+		}
+		if c.k != ByPrefix && got != c.want {
+			t.Errorf("Label(%v) = %q, want %q", c.k, got, c.want)
+		}
+	}
+	sd, ok := Label(u, a, ByStaticDyn)
+	if !ok || (sd != "static" && sd != "dynamic") {
+		t.Fatalf("static/dyn label %q", sd)
+	}
+	if _, ok := Label(u, ipv4.MustParseAddr("223.255.255.255"), ByRIR); ok {
+		t.Fatal("unallocated address must not label")
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	u := testU()
+	used := u.UsedAt(at())
+	// Two "sources": the full used set and a half sample.
+	half := ipset.New()
+	i := 0
+	used.Range(func(a ipv4.Addr) bool {
+		if i%2 == 0 {
+			half.Add(a)
+		}
+		i++
+		return i < 100000
+	})
+	sets := []*ipset.Set{used, half}
+	for _, k := range Keys() {
+		split := Split(u, sets, k)
+		if len(split) < 2 {
+			t.Fatalf("%v: only %d strata", k, len(split))
+		}
+		var total0, total1 int
+		for label, group := range split {
+			if len(group) != 2 {
+				t.Fatalf("%v/%s: group size %d", k, label, len(group))
+			}
+			total0 += group[0].Len()
+			total1 += group[1].Len()
+			// Every address in a stratum really has that label.
+			n := 0
+			group[0].Range(func(a ipv4.Addr) bool {
+				got, ok := Label(u, a, k)
+				if !ok || got != label {
+					t.Fatalf("%v: address %v labelled %q in stratum %q", k, a, got, label)
+				}
+				n++
+				return n < 200
+			})
+		}
+		if total0 != used.Len() {
+			t.Fatalf("%v: strata addresses %d != input %d (used addresses must all be labelled)",
+				k, total0, used.Len())
+		}
+		if total1 != half.Len() {
+			t.Fatalf("%v: second source %d != %d", k, total1, half.Len())
+		}
+	}
+}
+
+func TestRoutedSizesCoverRoutedSpace(t *testing.T) {
+	u := testU()
+	idxs := u.RoutedAllocs(at())
+	var want uint64
+	for _, i := range idxs {
+		want += u.Reg.Allocs[i].Prefix.Size()
+	}
+	for _, k := range Keys() {
+		sizes := RoutedSizes(u, k, idxs)
+		var got uint64
+		for _, sz := range sizes {
+			got += sz.Addrs
+		}
+		if got != want {
+			t.Fatalf("%v: routed sizes sum %d != routed space %d", k, got, want)
+		}
+	}
+}
+
+func TestRoutedSizesStaticDyn(t *testing.T) {
+	u := testU()
+	sizes := RoutedSizes(u, ByStaticDyn, u.RoutedAllocs(at()))
+	if sizes["static"].Addrs == 0 || sizes["dynamic"].Addrs == 0 {
+		t.Fatalf("both strata must be populated: %+v", sizes)
+	}
+	for _, sz := range sizes {
+		if sz.Addrs != sz.Slash24*256 {
+			t.Fatalf("addrs %d != 256 × /24s %d", sz.Addrs, sz.Slash24)
+		}
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if ByRIR.String() != "RIR" || Key(99).String() != "unknown" {
+		t.Fatal("Key stringer broken")
+	}
+	if len(Keys()) != 6 {
+		t.Fatal("six stratifications expected")
+	}
+}

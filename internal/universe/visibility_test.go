@@ -1,0 +1,234 @@
+package universe
+
+import (
+	"testing"
+
+	"ghosts/internal/ipv4"
+)
+
+func TestResponseRatesOrdering(t *testing.T) {
+	u := tiny(t)
+	at := date(2014, 6, 30)
+	used := u.UsedAt(at)
+	var total, icmp, tcp, unreach int
+	used.Range(func(a ipv4.Addr) bool {
+		total++
+		if u.RespondsICMP(a) {
+			icmp++
+		}
+		if u.RespondsTCP80(a) {
+			tcp++
+		}
+		if u.RespondsUnreachable(a) {
+			unreach++
+		}
+		return total < 200000
+	})
+	if total == 0 {
+		t.Fatal("no used addresses")
+	}
+	icmpFrac := float64(icmp) / float64(total)
+	tcpFrac := float64(tcp) / float64(total)
+	// Paper: pingable ≈ 36% of used addresses (430M of 1.2G); TCP sees
+	// fewer responders overall than ICMP.
+	if icmpFrac < 0.2 || icmpFrac > 0.55 {
+		t.Errorf("ICMP response fraction = %v, want ≈0.36", icmpFrac)
+	}
+	if tcpFrac >= icmpFrac {
+		t.Errorf("TCP80 fraction %v should be below ICMP %v", tcpFrac, icmpFrac)
+	}
+	if tcpFrac < 0.05 {
+		t.Errorf("TCP80 fraction %v too low", tcpFrac)
+	}
+	if unreach == 0 {
+		t.Error("some hosts should answer with unreachables")
+	}
+}
+
+func TestRespondersAreDeterministic(t *testing.T) {
+	u := tiny(t)
+	a := ipv4.MustParseAddr("1.2.3.4")
+	for i := 0; i < 10; i++ {
+		if u.RespondsICMP(a) != u.RespondsICMP(a) {
+			t.Fatal("RespondsICMP must be deterministic")
+		}
+	}
+}
+
+func TestUnreachableDisjointFromEcho(t *testing.T) {
+	u := tiny(t)
+	at := date(2014, 6, 30)
+	n := 0
+	u.UsedAt(at).Range(func(a ipv4.Addr) bool {
+		if u.RespondsICMP(a) && u.RespondsUnreachable(a) {
+			t.Fatalf("%v both echoes and unreachables", a)
+		}
+		n++
+		return n < 50000
+	})
+}
+
+func TestObservableByBias(t *testing.T) {
+	u := tiny(t)
+	at := date(2014, 6, 30)
+	// Aggregate: a client-biased source must capture a larger share of
+	// clients than a server-biased source does.
+	var clientSeenByClientSrc, clientSeenByServerSrc, clients int
+	n := 0
+	u.UsedAt(at).Range(func(a ipv4.Addr) bool {
+		n++
+		if u.Class(a) == Client {
+			clients++
+			pc := u.ObservableBy(a, 1.0, 1.0, 1.0)
+			ps := u.ObservableBy(a, 1.0, 0.0, 1.0)
+			if pc > ps {
+				clientSeenByClientSrc++
+			}
+			if ps > pc {
+				clientSeenByServerSrc++
+			}
+		}
+		return n < 100000
+	})
+	if clients == 0 {
+		t.Fatal("no clients sampled")
+	}
+	if clientSeenByClientSrc <= clientSeenByServerSrc {
+		t.Fatalf("client bias broken: %d vs %d", clientSeenByClientSrc, clientSeenByServerSrc)
+	}
+}
+
+func TestObservableByBounds(t *testing.T) {
+	u := tiny(t)
+	for i := uint32(0); i < 5000; i++ {
+		a := ipv4.Addr(i * 2654435761)
+		p := u.ObservableBy(a, 5.0, 0.5, 1.0)
+		if p < 0 || p > 1 {
+			t.Fatalf("ObservableBy out of range: %v", p)
+		}
+	}
+	if u.ObservableBy(ipv4.Addr(1), 1, 0.5, 0) != 0 {
+		t.Fatal("zero active fraction must give zero probability")
+	}
+}
+
+func TestFirewallRSTBlocksExist(t *testing.T) {
+	u := tiny(t)
+	found := false
+	for i := uint32(0); i < 200000 && !found; i++ {
+		a := ipv4.Addr(uint32(u.Reg.Allocs[0].Prefix.Base) + i)
+		if u.FirewallRSTBlock(a) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no firewall RST blocks in universe")
+	}
+	// Block property: all addresses of a /24 agree.
+	base := u.Reg.Allocs[0].Prefix.Base
+	want := u.FirewallRSTBlock(base)
+	for b := 0; b < 256; b++ {
+		if u.FirewallRSTBlock(base+ipv4.Addr(b)) != want {
+			t.Fatal("RST behaviour must be uniform within a /24")
+		}
+	}
+}
+
+func TestPeakUsedInPrefix(t *testing.T) {
+	u := tiny(t)
+	at := date(2014, 6, 30)
+	pfx := u.Reg.Allocs[0].Prefix
+	cum := u.UsedInPrefix(pfx, at).Len()
+	peak := u.PeakUsedInPrefix(pfx, at)
+	if peak > cum {
+		t.Fatalf("peak %d exceeds cumulative %d", peak, cum)
+	}
+	if cum > 100 && peak == 0 {
+		t.Fatal("nonzero usage must have nonzero peak")
+	}
+}
+
+func TestShielded24Properties(t *testing.T) {
+	u := tiny(t)
+	// Uniform within a /24.
+	base := u.Reg.Allocs[0].Prefix.First()
+	want := u.Shielded24(base)
+	for b := 0; b < 256; b++ {
+		if u.Shielded24(base+ipv4.Addr(b)) != want {
+			t.Fatal("shielding must be uniform within a /24")
+		}
+	}
+	// A sane overall fraction: some but not most /24s shielded.
+	shielded, total := 0, 0
+	for i := range u.Reg.Allocs {
+		p := u.Reg.Allocs[i].Prefix
+		lo, hi := p.First().Slash24Index(), p.Last().Slash24Index()
+		for k := lo; k <= hi; k += 7 {
+			total++
+			if u.Shielded24(ipv4.Addr(k << 8)) {
+				shielded++
+			}
+		}
+	}
+	frac := float64(shielded) / float64(total)
+	if frac < 0.03 || frac > 0.5 {
+		t.Fatalf("shielded fraction = %v, want moderate", frac)
+	}
+	// Shielded subnets never respond to anything.
+	at := date(2014, 6, 30)
+	n := 0
+	u.UsedAt(at).Range(func(a ipv4.Addr) bool {
+		if u.Shielded24(a) && (u.RespondsICMP(a) || u.RespondsTCP80(a) || u.RespondsUnreachable(a)) {
+			t.Fatalf("shielded %v responded to a probe", a)
+		}
+		n++
+		return n < 30000
+	})
+}
+
+func TestSlash24DensityHeterogeneity(t *testing.T) {
+	u := tiny(t)
+	at := date(2014, 6, 30)
+	// Per-used-/24 member counts must be strongly heterogeneous: both
+	// sparse (<26 addresses) and dense (>128) subnets in numbers.
+	sparse, dense, total := 0, 0, 0
+	u.UsedAt(at).RangeSlash24(func(base ipv4.Addr, count int) bool {
+		total++
+		if count < 26 {
+			sparse++
+		}
+		if count > 128 {
+			dense++
+		}
+		return true
+	})
+	if total == 0 {
+		t.Fatal("no used /24s")
+	}
+	if float64(sparse)/float64(total) < 0.05 {
+		t.Fatalf("only %d/%d sparse /24s; density heterogeneity missing", sparse, total)
+	}
+	if float64(dense)/float64(total) < 0.2 {
+		t.Fatalf("only %d/%d dense /24s", dense, total)
+	}
+}
+
+func TestSomeUsed24sInvisibleToAllSources(t *testing.T) {
+	// The /24 ghosts: a non-trivial share of used /24s must be invisible
+	// to the census model (shielded) — the precondition for Figure 4's
+	// estimated-vs-observed gap.
+	u := tiny(t)
+	at := date(2014, 6, 30)
+	invisible, total := 0, 0
+	u.UsedAt(at).RangeSlash24(func(base ipv4.Addr, count int) bool {
+		total++
+		if u.Shielded24(base) {
+			invisible++
+		}
+		return true
+	})
+	frac := float64(invisible) / float64(total)
+	if frac < 0.03 || frac > 0.4 {
+		t.Fatalf("census-invisible used /24s = %.3f of %d, want a moderate share", frac, total)
+	}
+}

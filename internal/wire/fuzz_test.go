@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"testing"
+
+	"ghosts/internal/ipv4"
+)
+
+// FuzzUnmarshal exercises the packet decoder on arbitrary byte strings:
+// it must never panic, and every accepted packet must re-marshal to a
+// decodable packet with identical header fields.
+func FuzzUnmarshal(f *testing.F) {
+	seed := func(p *Packet) {
+		b, err := p.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(EchoRequest(ipv4.MustParseAddr("192.0.2.1"), ipv4.MustParseAddr("198.51.100.7"), 1, 2))
+	seed(SYN(ipv4.MustParseAddr("192.0.2.1"), ipv4.MustParseAddr("203.0.113.80"), 40000, 80, 7))
+	seed(RST(SYN(1, 2, 3, 80, 4)))
+	seed(ICMPError(9, EchoRequest(1, 2, 3, 4), ICMPDestUnreachable, CodePortUnreachable))
+	f.Add([]byte{})
+	f.Add([]byte{0x45})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted packets must round-trip.
+		out, err := pkt.Marshal()
+		if err != nil {
+			t.Fatalf("accepted packet does not marshal: %v", err)
+		}
+		back, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshalled packet does not decode: %v", err)
+		}
+		if back.IP.Src != pkt.IP.Src || back.IP.Dst != pkt.IP.Dst || back.IP.Protocol != pkt.IP.Protocol {
+			t.Fatal("header fields changed in round trip")
+		}
+	})
+}

@@ -1,0 +1,301 @@
+// Package wire implements the IPv4, ICMP and TCP wire formats the census
+// prober uses (§4.1: ICMP echo requests and TCP SYN packets to port 80),
+// including the Internet checksum. Packets are encoded to and decoded from
+// real byte layouts so the probe path exercises genuine protocol code even
+// though delivery is simulated.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ghosts/internal/ipv4"
+)
+
+// Protocol numbers used by the prober.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+)
+
+// ICMP types and codes relevant to §4.4's response classification.
+const (
+	ICMPEchoReply          = 0
+	ICMPDestUnreachable    = 3
+	ICMPEchoRequest        = 8
+	ICMPTimeExceeded       = 11
+	CodeProtoUnreachable   = 2
+	CodePortUnreachable    = 3
+	CodeHostUnreachable    = 1
+	CodeAdminProhibited    = 13
+	CodeNetworkUnreachable = 0
+)
+
+// TCP flag bits.
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// IPv4Header is the fixed 20-byte IPv4 header (no options).
+type IPv4Header struct {
+	TTL      uint8
+	Protocol uint8
+	Src, Dst ipv4.Addr
+	ID       uint16
+}
+
+const ipv4HeaderLen = 20
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Packet is a decoded probe or response packet.
+type Packet struct {
+	IP IPv4Header
+	// Exactly one of ICMP/TCP is non-nil depending on IP.Protocol.
+	ICMP *ICMPMessage
+	TCP  *TCPSegment
+}
+
+// ICMPMessage is an ICMP header plus an opaque payload. For echo messages
+// ID/Seq are the identifier and sequence; for errors the payload carries
+// the offending header.
+type ICMPMessage struct {
+	Type, Code uint8
+	ID, Seq    uint16
+	Payload    []byte
+}
+
+// TCPSegment is the subset of TCP used for SYN probing.
+type TCPSegment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+// Marshal encodes the packet, computing all checksums.
+func (p *Packet) Marshal() ([]byte, error) {
+	var body []byte
+	switch {
+	case p.ICMP != nil:
+		body = p.ICMP.marshal()
+		p.IP.Protocol = ProtoICMP
+	case p.TCP != nil:
+		body = p.TCP.marshal(p.IP.Src, p.IP.Dst)
+		p.IP.Protocol = ProtoTCP
+	default:
+		return nil, errors.New("wire: packet has no payload")
+	}
+	buf := make([]byte, ipv4HeaderLen+len(body))
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:], uint16(len(buf)))
+	binary.BigEndian.PutUint16(buf[4:], p.IP.ID)
+	ttl := p.IP.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	buf[8] = ttl
+	buf[9] = p.IP.Protocol
+	binary.BigEndian.PutUint32(buf[12:], uint32(p.IP.Src))
+	binary.BigEndian.PutUint32(buf[16:], uint32(p.IP.Dst))
+	binary.BigEndian.PutUint16(buf[10:], Checksum(buf[:ipv4HeaderLen]))
+	copy(buf[ipv4HeaderLen:], body)
+	return buf, nil
+}
+
+func (m *ICMPMessage) marshal() []byte {
+	b := make([]byte, 8+len(m.Payload))
+	b[0] = m.Type
+	b[1] = m.Code
+	binary.BigEndian.PutUint16(b[4:], m.ID)
+	binary.BigEndian.PutUint16(b[6:], m.Seq)
+	copy(b[8:], m.Payload)
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b
+}
+
+func (s *TCPSegment) marshal(src, dst ipv4.Addr) []byte {
+	b := make([]byte, 20)
+	binary.BigEndian.PutUint16(b[0:], s.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], s.DstPort)
+	binary.BigEndian.PutUint32(b[4:], s.Seq)
+	binary.BigEndian.PutUint32(b[8:], s.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = s.Flags
+	binary.BigEndian.PutUint16(b[14:], s.Window)
+	binary.BigEndian.PutUint16(b[16:], tcpChecksum(b, src, dst))
+	return b
+}
+
+// tcpChecksum computes the TCP checksum including the IPv4 pseudo-header.
+func tcpChecksum(seg []byte, src, dst ipv4.Addr) uint16 {
+	pseudo := make([]byte, 12+len(seg))
+	binary.BigEndian.PutUint32(pseudo[0:], uint32(src))
+	binary.BigEndian.PutUint32(pseudo[4:], uint32(dst))
+	pseudo[9] = ProtoTCP
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(seg)))
+	copy(pseudo[12:], seg)
+	// Zero the checksum field position within the copy.
+	pseudo[12+16] = 0
+	pseudo[12+17] = 0
+	return Checksum(pseudo)
+}
+
+// Unmarshal decodes and validates a packet. It checks the IP header
+// checksum, the ICMP checksum and the TCP checksum (with pseudo-header).
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < ipv4HeaderLen {
+		return nil, errors.New("wire: short packet")
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("wire: not IPv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return nil, errors.New("wire: bad IHL")
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, errors.New("wire: IP header checksum mismatch")
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total > len(b) || total < ihl {
+		return nil, errors.New("wire: bad total length")
+	}
+	p := &Packet{IP: IPv4Header{
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      ipv4.Addr(binary.BigEndian.Uint32(b[12:])),
+		Dst:      ipv4.Addr(binary.BigEndian.Uint32(b[16:])),
+		ID:       binary.BigEndian.Uint16(b[4:]),
+	}}
+	body := b[ihl:total]
+	switch p.IP.Protocol {
+	case ProtoICMP:
+		if len(body) < 8 {
+			return nil, errors.New("wire: short ICMP")
+		}
+		if Checksum(body) != 0 {
+			return nil, errors.New("wire: ICMP checksum mismatch")
+		}
+		m := &ICMPMessage{
+			Type:    body[0],
+			Code:    body[1],
+			ID:      binary.BigEndian.Uint16(body[4:]),
+			Seq:     binary.BigEndian.Uint16(body[6:]),
+			Payload: append([]byte(nil), body[8:]...),
+		}
+		p.ICMP = m
+	case ProtoTCP:
+		if len(body) < 20 {
+			return nil, errors.New("wire: short TCP")
+		}
+		if tcpChecksum(body[:20], p.IP.Src, p.IP.Dst) != binary.BigEndian.Uint16(body[16:]) {
+			return nil, errors.New("wire: TCP checksum mismatch")
+		}
+		s := &TCPSegment{
+			SrcPort: binary.BigEndian.Uint16(body[0:]),
+			DstPort: binary.BigEndian.Uint16(body[2:]),
+			Seq:     binary.BigEndian.Uint32(body[4:]),
+			Ack:     binary.BigEndian.Uint32(body[8:]),
+			Flags:   body[13],
+			Window:  binary.BigEndian.Uint16(body[14:]),
+		}
+		p.TCP = s
+	default:
+		return nil, fmt.Errorf("wire: unsupported protocol %d", p.IP.Protocol)
+	}
+	return p, nil
+}
+
+// EchoRequest builds an ICMP echo request probe.
+func EchoRequest(src, dst ipv4.Addr, id, seq uint16) *Packet {
+	return &Packet{
+		IP:   IPv4Header{Src: src, Dst: dst, TTL: 64},
+		ICMP: &ICMPMessage{Type: ICMPEchoRequest, ID: id, Seq: seq},
+	}
+}
+
+// EchoReply builds the reply to an echo request.
+func EchoReply(req *Packet) *Packet {
+	return &Packet{
+		IP: IPv4Header{Src: req.IP.Dst, Dst: req.IP.Src, TTL: 64},
+		ICMP: &ICMPMessage{
+			Type: ICMPEchoReply,
+			ID:   req.ICMP.ID,
+			Seq:  req.ICMP.Seq,
+		},
+	}
+}
+
+// ICMPError builds an ICMP error (e.g. destination unreachable) quoting the
+// original datagram's header, as real routers do.
+func ICMPError(from ipv4.Addr, req *Packet, typ, code uint8) *Packet {
+	quoted, _ := req.Marshal()
+	if len(quoted) > 28 {
+		quoted = quoted[:28]
+	}
+	return &Packet{
+		IP:   IPv4Header{Src: from, Dst: req.IP.Src, TTL: 64},
+		ICMP: &ICMPMessage{Type: typ, Code: code, Payload: quoted},
+	}
+}
+
+// QuotedDst extracts the destination address of the datagram quoted in an
+// ICMP error payload. ICMP errors carry the offending IP header (+8 bytes);
+// the prober needs the original destination to attribute host-unreachables
+// to the probed address rather than the reporting router.
+func QuotedDst(payload []byte) (ipv4.Addr, bool) {
+	if len(payload) < ipv4HeaderLen || payload[0]>>4 != 4 {
+		return 0, false
+	}
+	return ipv4.Addr(binary.BigEndian.Uint32(payload[16:])), true
+}
+
+// SYN builds a TCP SYN probe to the given port.
+func SYN(src, dst ipv4.Addr, srcPort, dstPort uint16, seq uint32) *Packet {
+	return &Packet{
+		IP:  IPv4Header{Src: src, Dst: dst, TTL: 64},
+		TCP: &TCPSegment{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Flags: TCPFlagSYN, Window: 65535},
+	}
+}
+
+// SYNACK builds the SYN/ACK response to a SYN.
+func SYNACK(req *Packet, seq uint32) *Packet {
+	return &Packet{
+		IP: IPv4Header{Src: req.IP.Dst, Dst: req.IP.Src, TTL: 64},
+		TCP: &TCPSegment{
+			SrcPort: req.TCP.DstPort, DstPort: req.TCP.SrcPort,
+			Seq: seq, Ack: req.TCP.Seq + 1,
+			Flags: TCPFlagSYN | TCPFlagACK, Window: 65535,
+		},
+	}
+}
+
+// RST builds the RST response to a SYN (closed port, or firewall reset).
+func RST(req *Packet) *Packet {
+	return &Packet{
+		IP: IPv4Header{Src: req.IP.Dst, Dst: req.IP.Src, TTL: 64},
+		TCP: &TCPSegment{
+			SrcPort: req.TCP.DstPort, DstPort: req.TCP.SrcPort,
+			Ack: req.TCP.Seq + 1, Flags: TCPFlagRST | TCPFlagACK,
+		},
+	}
+}

@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ghosts/internal/ipv4"
+)
+
+func TestChecksumKnown(t *testing.T) {
+	// RFC 1071 example: 0001 f203 f4f5 f6f7 → checksum 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Fatalf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	b := []byte{0x01, 0x02, 0x03}
+	got := Checksum(b)
+	// Manual: 0x0102 + 0x0300 = 0x0402 → ^0x0402 = 0xfbfd
+	if got != 0xfbfd {
+		t.Fatalf("Checksum odd = %#04x, want 0xfbfd", got)
+	}
+}
+
+func TestChecksumSelfVerifies(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		data[0], data[1] = 0, 0 // zero checksum field
+		c := Checksum(data)
+		data[0], data[1] = byte(c>>8), byte(c)
+		return Checksum(data) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	src := ipv4.MustParseAddr("192.0.2.1")
+	dst := ipv4.MustParseAddr("198.51.100.7")
+	req := EchoRequest(src, dst, 0x1234, 42)
+	b, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IP.Src != src || got.IP.Dst != dst {
+		t.Fatalf("addresses: %v -> %v", got.IP.Src, got.IP.Dst)
+	}
+	if got.ICMP == nil || got.ICMP.Type != ICMPEchoRequest || got.ICMP.ID != 0x1234 || got.ICMP.Seq != 42 {
+		t.Fatalf("ICMP fields: %+v", got.ICMP)
+	}
+}
+
+func TestEchoReply(t *testing.T) {
+	req := EchoRequest(1, 2, 7, 9)
+	rep := EchoReply(req)
+	if rep.IP.Src != 2 || rep.IP.Dst != 1 {
+		t.Fatal("reply must swap addresses")
+	}
+	if rep.ICMP.Type != ICMPEchoReply || rep.ICMP.ID != 7 || rep.ICMP.Seq != 9 {
+		t.Fatalf("reply fields: %+v", rep.ICMP)
+	}
+	b, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSYNRoundTrip(t *testing.T) {
+	src := ipv4.MustParseAddr("192.0.2.1")
+	dst := ipv4.MustParseAddr("203.0.113.80")
+	syn := SYN(src, dst, 54321, 80, 1000)
+	b, err := syn.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := got.TCP
+	if tcp == nil || tcp.SrcPort != 54321 || tcp.DstPort != 80 || tcp.Seq != 1000 {
+		t.Fatalf("TCP fields: %+v", tcp)
+	}
+	if tcp.Flags != TCPFlagSYN {
+		t.Fatalf("flags = %#x", tcp.Flags)
+	}
+}
+
+func TestSYNACKAndRST(t *testing.T) {
+	syn := SYN(1, 2, 40000, 80, 77)
+	sa := SYNACK(syn, 555)
+	if sa.TCP.Ack != 78 || sa.TCP.Flags != TCPFlagSYN|TCPFlagACK {
+		t.Fatalf("SYNACK: %+v", sa.TCP)
+	}
+	if sa.TCP.SrcPort != 80 || sa.TCP.DstPort != 40000 {
+		t.Fatal("SYNACK must swap ports")
+	}
+	rst := RST(syn)
+	if rst.TCP.Flags&TCPFlagRST == 0 {
+		t.Fatal("RST flag missing")
+	}
+	for _, p := range []*Packet{sa, rst} {
+		b, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Unmarshal(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestICMPErrorQuotesHeader(t *testing.T) {
+	syn := SYN(1, 2, 40000, 80, 77)
+	e := ICMPError(ipv4.MustParseAddr("10.0.0.1"), syn, ICMPDestUnreachable, CodePortUnreachable)
+	b, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ICMP.Type != ICMPDestUnreachable || got.ICMP.Code != CodePortUnreachable {
+		t.Fatalf("error type/code: %+v", got.ICMP)
+	}
+	if len(got.ICMP.Payload) == 0 {
+		t.Fatal("error must quote the original datagram")
+	}
+	if got.IP.Dst != syn.IP.Src {
+		t.Fatal("error must go back to the prober")
+	}
+}
+
+func TestUnmarshalCorruption(t *testing.T) {
+	req := EchoRequest(1, 2, 3, 4)
+	b, _ := req.Marshal()
+	for _, i := range []int{0, 9, 10, 12, 22} {
+		c := append([]byte(nil), b...)
+		c[i] ^= 0xff
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+	if _, err := Unmarshal(b[:10]); err == nil {
+		t.Error("short packet accepted")
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil packet accepted")
+	}
+}
+
+func TestTCPChecksumCoversPseudoHeader(t *testing.T) {
+	// The same segment with different IP addresses must have different
+	// checksums (pseudo-header inclusion).
+	a, _ := SYN(1, 2, 1000, 80, 1).Marshal()
+	b, _ := SYN(1, 3, 1000, 80, 1).Marshal()
+	ca := a[len(a)-4:]
+	cb := b[len(b)-4:]
+	same := true
+	for i := range ca {
+		if ca[i] != cb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("TCP checksum ignores the pseudo-header")
+	}
+}
+
+func TestMarshalEmptyPacket(t *testing.T) {
+	p := &Packet{}
+	if _, err := p.Marshal(); err == nil {
+		t.Fatal("empty packet should not marshal")
+	}
+}
+
+func TestUnmarshalUnknownProtocol(t *testing.T) {
+	req := EchoRequest(1, 2, 3, 4)
+	b, _ := req.Marshal()
+	b[9] = 17 // UDP
+	// Fix header checksum.
+	b[10], b[11] = 0, 0
+	c := Checksum(b[:20])
+	b[10], b[11] = byte(c>>8), byte(c)
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("unsupported protocol accepted")
+	}
+}
+
+func BenchmarkMarshalEcho(b *testing.B) {
+	req := EchoRequest(1, 2, 3, 4)
+	for i := 0; i < b.N; i++ {
+		if _, err := req.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalEcho(b *testing.B) {
+	buf, _ := EchoRequest(1, 2, 3, 4).Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
