@@ -6,6 +6,7 @@
 //	ghosts -exp all                 # run every experiment at small scale
 //	ghosts -exp table5 -scale tiny  # one experiment, fast
 //	ghosts -exp fig4,fig5 -seed 7   # comma-separated experiment ids
+//	ghosts -exp all -parallel 4     # cap the estimation engine at 4 workers
 //	ghosts -list                    # list experiment ids
 //
 // Experiment ids: table2 table3 table4 table5 table6 fig2 fig3 fig4 fig5
@@ -25,6 +26,7 @@ import (
 
 	"ghosts/internal/dataset"
 	"ghosts/internal/experiments"
+	"ghosts/internal/parallel"
 	"ghosts/internal/report"
 	"ghosts/internal/universe"
 )
@@ -71,10 +73,12 @@ func main() {
 		seedFlag    = flag.Uint64("seed", 42, "simulation seed")
 		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
 		outFlag     = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
-		collectFlag = flag.String("collect", "", "simulate the final window and write per-source .gset files to this directory, then exit")
-		estFlag     = flag.String("estimate", "", "load .gset files from this directory, estimate, and exit")
+		collectFlag  = flag.String("collect", "", "simulate the final window and write per-source .gset files to this directory, then exit")
+		estFlag      = flag.String("estimate", "", "load .gset files from this directory, estimate, and exit")
+		parallelFlag = flag.Int("parallel", 0, "worker goroutines for the estimation engine (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*parallelFlag)
 
 	if *estFlag != "" {
 		if err := estimate(*estFlag); err != nil {

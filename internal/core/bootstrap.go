@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"ghosts/internal/parallel"
 	"ghosts/internal/rng"
 )
 
@@ -28,10 +29,10 @@ func BootstrapInterval(tb *Table, fit *FitResult, limit float64, b int, conf flo
 		return Interval{}, err
 	}
 	x := fit.Model.design()
-	lambdas := make([]float64, len(x))
-	for i, row := range x {
+	lambdas := make([]float64, x.Rows)
+	for i := range lambdas {
 		eta := 0.0
-		for j, v := range row {
+		for j, v := range x.Row(i) {
 			eta += v * refit.Coef[j]
 		}
 		if eta > 30 {
@@ -39,25 +40,40 @@ func BootstrapInterval(tb *Table, fit *FitResult, limit float64, b int, conf flo
 		}
 		lambdas[i] = math.Exp(eta)
 	}
-	r := rng.New(seed)
-	ests := make([]float64, 0, b)
-	resampled := NewTable(tb.T)
-	for rep := 0; rep < b; rep++ {
+	// Derive one generator per replicate up front (rng.Split), so each
+	// replicate's stream is fixed by (seed, rep) and the fan-out is
+	// deterministic regardless of worker count or scheduling.
+	master := rng.New(seed)
+	gens := make([]*rng.RNG, b)
+	for i := range gens {
+		gens[i] = master.Split()
+	}
+	raw := make([]float64, b)
+	parallel.ForEach(b, func(rep int) {
+		raw[rep] = math.NaN() // NaN marks a failed replicate
+		r := gens[rep]
+		resampled := NewTable(tb.T)
 		for s := 1; s < len(resampled.Counts); s++ {
 			resampled.Counts[s] = r.Poisson(lambdas[s-1])
 		}
 		if resampled.Observed() == 0 {
-			continue
+			return
 		}
 		f, err := fitModelInit(resampled, fit.Model, limit, 1, refit.Coef)
 		if err != nil {
-			continue
+			return
 		}
 		n := f.N
 		if !math.IsInf(limit, 1) && n > limit {
 			n = limit
 		}
-		ests = append(ests, n)
+		raw[rep] = n
+	})
+	ests := make([]float64, 0, b)
+	for _, n := range raw {
+		if !math.IsNaN(n) {
+			ests = append(ests, n)
+		}
 	}
 	if len(ests) < b/2 {
 		return Interval{}, errors.New("core: too many bootstrap replicates failed")

@@ -67,11 +67,11 @@ type GOF struct {
 // contingency table.
 func GoodnessOfFit(tb *Table, fit *FitResult) GOF {
 	x := fit.Model.design()
-	g := GOF{DF: len(x) - fit.Model.NumParams()}
+	g := GOF{DF: x.Rows - fit.Model.NumParams()}
 	for s := 1; s < len(tb.Counts); s++ {
 		z := float64(tb.Counts[s])
 		eta := 0.0
-		for j, v := range x[s-1] {
+		for j, v := range x.Row(s - 1) {
 			eta += v * fit.Coef[j]
 		}
 		if eta > 30 {

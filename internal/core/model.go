@@ -4,6 +4,9 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"ghosts/internal/stats"
 )
@@ -35,14 +38,12 @@ func (m Model) With(h int) Model {
 	return Model{T: m.T, Terms: terms}
 }
 
-// Has reports whether interaction term h is in the model.
+// Has reports whether interaction term h is in the model. Terms are kept
+// sorted, so this is a binary search — it sits inside the O(2^t) hierarchy
+// check of every selection round.
 func (m Model) Has(h int) bool {
-	for _, x := range m.Terms {
-		if x == h {
-			return true
-		}
-	}
-	return false
+	i := sort.SearchInts(m.Terms, h)
+	return i < len(m.Terms) && m.Terms[i] == h
 }
 
 // Hierarchical reports whether adding term h keeps the model hierarchical:
@@ -61,8 +62,8 @@ func (m Model) Hierarchical(h int) bool {
 	return true
 }
 
-// TermName renders an interaction mask like "u{1,3}" using 1-based source
-// indices (matching the paper's u₁₃ notation).
+// TermName renders an interaction mask like "u{1,3}" using 1-based decimal
+// source indices (matching the paper's u₁₃ notation).
 func TermName(h int) string {
 	out := []byte("u{")
 	first := true
@@ -71,23 +72,64 @@ func TermName(h int) string {
 			if !first {
 				out = append(out, ',')
 			}
-			out = append(out, byte('1'+i))
+			out = strconv.AppendInt(out, int64(i+1), 10)
 			first = false
 		}
 	}
 	return string(append(out, '}'))
 }
 
-// design builds the GLM design matrix for the model over the 2^t−1
-// observable histories (rows ordered by history mask 1..2^t−1). Column 0 is
-// the intercept, columns 1..t the main effects, then one column per
-// interaction; x[s][j] = 1 iff term j's source set is a subset of s.
-func (m Model) design() [][]float64 {
+// designCache memoises design matrices per model. The stepwise search, the
+// profile-interval bisection and the bootstrap all refit the same few
+// models over and over; the matrix depends only on (T, Terms), is
+// read-only after construction, and there are at most a few hundred
+// distinct models per estimation, so a process-wide cache is safe and
+// effective. designCacheLen bounds it defensively: past the cap matrices
+// are built uncached instead of evicted.
+var (
+	designCache    sync.Map // string key -> stats.Matrix
+	designCacheLen atomic.Int64
+)
+
+const designCacheCap = 1 << 14
+
+// designKey encodes (T, Terms) compactly; T ≤ 16 so each term fits 2 bytes.
+func (m Model) designKey() string {
+	b := make([]byte, 1+2*len(m.Terms))
+	b[0] = byte(m.T)
+	for i, h := range m.Terms {
+		b[1+2*i] = byte(h)
+		b[2+2*i] = byte(h >> 8)
+	}
+	return string(b)
+}
+
+// design returns the flat row-major GLM design matrix for the model over
+// the 2^t−1 observable histories (rows ordered by history mask 1..2^t−1),
+// cached per model. Column 0 is the intercept, columns 1..t the main
+// effects, then one column per interaction; x[s][j] = 1 iff term j's
+// source set is a subset of s. Callers must treat the result as read-only.
+func (m Model) design() stats.Matrix {
+	key := m.designKey()
+	if v, ok := designCache.Load(key); ok {
+		return v.(stats.Matrix)
+	}
+	x := m.buildDesign()
+	if designCacheLen.Load() < designCacheCap {
+		if _, loaded := designCache.LoadOrStore(key, x); !loaded {
+			designCacheLen.Add(1)
+		}
+	}
+	return x
+}
+
+// buildDesign constructs the design matrix without consulting the cache.
+func (m Model) buildDesign() stats.Matrix {
 	n := 1<<uint(m.T) - 1
 	p := m.NumParams()
-	x := make([][]float64, n)
+	x := stats.NewMatrix(n, p)
 	for s := 1; s <= n; s++ {
-		row := make([]float64, p)
+		row := x.Row(s - 1)
 		row[0] = 1
 		for i := 0; i < m.T; i++ {
 			if s&(1<<uint(i)) != 0 {
@@ -99,7 +141,6 @@ func (m Model) design() [][]float64 {
 				row[1+m.T+j] = 1
 			}
 		}
-		x[s-1] = row
 	}
 	return x
 }
@@ -113,6 +154,17 @@ type FitResult struct {
 	N         float64   // M + Z0
 	Converged bool
 }
+
+// fitScratch bundles the per-goroutine buffers of one model fit: the GLM
+// workspace plus the response and truncation vectors. Pooled so the
+// stepwise search and the experiment fan-outs stop allocating them per fit.
+type fitScratch struct {
+	ws     stats.Workspace
+	y      []float64
+	limits []float64
+}
+
+var fitPool = sync.Pool{New: func() any { return new(fitScratch) }}
 
 // FitModel fits model m to the table by maximum likelihood. A finite limit
 // right-truncates every cell's Poisson distribution at limit (§3.3.1: the
@@ -131,20 +183,28 @@ func fitModelInit(tb *Table, m Model, limit float64, scale float64, init []float
 		scale = 1
 	}
 	x := m.design()
-	n := len(x)
-	y := make([]float64, n)
+	n := x.Rows
+	sc := fitPool.Get().(*fitScratch)
+	defer fitPool.Put(sc)
+	if cap(sc.y) < n {
+		sc.y = make([]float64, n)
+	}
+	y := sc.y[:n]
 	for s := 1; s <= n; s++ {
 		y[s-1] = float64(tb.Counts[s]) / scale
 	}
 	var limits []float64
 	if !math.IsInf(limit, 1) {
-		limits = make([]float64, n)
+		if cap(sc.limits) < n {
+			sc.limits = make([]float64, n)
+		}
+		limits = sc.limits[:n]
 		l := math.Floor(limit / scale)
 		for i := range limits {
 			limits[i] = l
 		}
 	}
-	res, err := stats.FitPoissonGLMInit(x, y, limits, init)
+	res, err := stats.FitPoissonGLMFlat(x, y, limits, init, &sc.ws)
 	if err != nil {
 		return nil, err
 	}

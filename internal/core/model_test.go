@@ -44,31 +44,43 @@ func TestTermName(t *testing.T) {
 	if got := TermName(0b11); got != "u{1,2}" {
 		t.Errorf("TermName(0b11) = %q", got)
 	}
+	// Source indices ≥ 10 must render as decimal, not bytes past '9'.
+	if got := TermName(1<<9 | 1<<11); got != "u{10,12}" {
+		t.Errorf("TermName(1<<9|1<<11) = %q, want u{10,12}", got)
+	}
+	if got := TermName(1 | 1<<15); got != "u{1,16}" {
+		t.Errorf("TermName(1|1<<15) = %q, want u{1,16}", got)
+	}
 }
 
 func TestDesignShape(t *testing.T) {
 	m := IndependenceModel(3).With(0b011)
 	x := m.design()
-	if len(x) != 7 {
-		t.Fatalf("rows = %d, want 7", len(x))
+	if x.Rows != 7 {
+		t.Fatalf("rows = %d, want 7", x.Rows)
 	}
-	for _, row := range x {
-		if len(row) != m.NumParams() {
-			t.Fatalf("cols = %d, want %d", len(row), m.NumParams())
-		}
-		if row[0] != 1 {
+	if x.Cols != m.NumParams() {
+		t.Fatalf("cols = %d, want %d", x.Cols, m.NumParams())
+	}
+	for i := 0; i < x.Rows; i++ {
+		if x.Row(i)[0] != 1 {
 			t.Fatal("intercept column must be 1")
 		}
 	}
 	// History 0b011 (row index 2): mains 1,2 present, interaction {1,2} on.
-	row := x[0b011-1]
+	row := x.Row(0b011 - 1)
 	if row[1] != 1 || row[2] != 1 || row[3] != 0 || row[4] != 1 {
 		t.Fatalf("design row for 011 = %v", row)
 	}
 	// History 0b111: everything on.
-	row = x[0b111-1]
+	row = x.Row(0b111 - 1)
 	if row[1] != 1 || row[2] != 1 || row[3] != 1 || row[4] != 1 {
 		t.Fatalf("design row for 111 = %v", row)
+	}
+	// The cache must hand back the same backing matrix for equal models.
+	again := IndependenceModel(3).With(0b011).design()
+	if &again.Data[0] != &x.Data[0] {
+		t.Error("design cache should return the same backing array for equal models")
 	}
 }
 

@@ -15,37 +15,53 @@ type Interval struct {
 	Alpha  float64
 }
 
-// profileLogLik evaluates the profile log-likelihood at population size N:
-// the unobserved cell is pinned to n₀ = N − M and the model parameters are
-// re-maximised over the full 2^t-cell table. Counts are divided by scale —
-// the paper's divisor heuristic — which widens the likelihood region to
-// reflect that the sampling is far from Poisson-random (§3.3.3: the
-// interval is "merely a useful heuristic indication").
-func profileLogLik(tb *Table, m Model, limit float64, n0 float64, scale float64) (float64, error) {
+// profiler evaluates the profile log-likelihood at varying population
+// sizes N: the unobserved cell is pinned to n₀ = N − M and the model
+// parameters are re-maximised over the full 2^t-cell table. Counts are
+// divided by scale — the paper's divisor heuristic — which widens the
+// likelihood region to reflect that the sampling is far from
+// Poisson-random (§3.3.3: the interval is "merely a useful heuristic
+// indication"). The bisection evaluates the profile dozens of times per
+// interval, so the extended design, response vector and GLM workspace are
+// built once and reused across evaluations.
+type profiler struct {
+	x      stats.Matrix // model design extended with the unobserved-cell row
+	y      []float64    // y[0] is rewritten per evaluation
+	limits []float64
+	scale  float64
+	ws     stats.Workspace
+}
+
+func newProfiler(tb *Table, m Model, limit float64, scale float64) *profiler {
 	if scale < 1 {
 		scale = 1
 	}
-	x := m.design()
-	// Extend with the unobserved-cell row: intercept only.
-	p := m.NumParams()
-	row0 := make([]float64, p)
-	row0[0] = 1
-	xx := make([][]float64, 0, len(x)+1)
-	xx = append(xx, row0)
-	xx = append(xx, x...)
-	y := make([]float64, 0, len(x)+1)
-	y = append(y, n0/scale)
+	base := m.design()
+	p := base.Cols
+	// Row 0 is the unobserved cell: intercept only.
+	x := stats.NewMatrix(base.Rows+1, p)
+	x.Row(0)[0] = 1
+	copy(x.Data[p:], base.Data)
+	pr := &profiler{x: x, scale: scale}
+	pr.y = make([]float64, x.Rows)
 	for s := 1; s < len(tb.Counts); s++ {
-		y = append(y, float64(tb.Counts[s])/scale)
+		pr.y[s] = float64(tb.Counts[s]) / scale
 	}
-	var limits []float64
 	if !math.IsInf(limit, 1) {
-		limits = make([]float64, len(y))
-		for i := range limits {
-			limits[i] = math.Floor(limit / scale)
+		pr.limits = make([]float64, x.Rows)
+		l := math.Floor(limit / scale)
+		for i := range pr.limits {
+			pr.limits[i] = l
 		}
 	}
-	res, err := stats.FitPoissonGLM(xx, y, limits)
+	return pr
+}
+
+// logLik evaluates the profile log-likelihood with the unobserved cell
+// pinned to n0.
+func (pr *profiler) logLik(n0 float64) (float64, error) {
+	pr.y[0] = n0 / pr.scale
+	res, err := stats.FitPoissonGLMFlat(pr.x, pr.y, pr.limits, nil, &pr.ws)
 	if err != nil {
 		return 0, err
 	}
@@ -71,13 +87,14 @@ func ProfileIntervalScaled(tb *Table, fit *FitResult, limit float64, alpha, uppe
 	if nHat < mObs {
 		nHat = mObs
 	}
-	llMax, err := profileLogLik(tb, fit.Model, limit, nHat-mObs, scale)
+	pr := newProfiler(tb, fit.Model, limit, scale)
+	llMax, err := pr.logLik(nHat - mObs)
 	if err != nil {
 		return Interval{}, err
 	}
 	crit := stats.ChiSquare1Quantile(1-alpha) / 2
 	drop := func(n float64) float64 {
-		ll, err := profileLogLik(tb, fit.Model, limit, n-mObs, scale)
+		ll, err := pr.logLik(n - mObs)
 		if err != nil {
 			return math.Inf(1)
 		}

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/bits"
+
+	"ghosts/internal/parallel"
 )
 
 // IC selects the information criterion used for model selection (§3.3.2).
@@ -110,30 +112,57 @@ func SelectModel(tb *Table, opt SelectionOptions) (Model, float64, error) {
 		return cur, 0, err
 	}
 	curIC := icOf(tb, cur, curFit, opt, d)
+	var cands []int
+	var fits []*FitResult
+	var ics []float64
 	for len(cur.Terms) < maxTerms {
-		bestIC := math.Inf(1)
-		var best Model
-		var bestFit *FitResult
-		found := false
+		// Enumerate the eligible candidate terms in ascending mask order,
+		// then fit them concurrently: each candidate fit is independent and
+		// deterministic (fixed warm start), and results land in per-index
+		// slots, so the scan is safe to fan out.
+		cands = cands[:0]
 		for h := 3; h < 1<<uint(t); h++ {
 			order := bits.OnesCount(uint(h))
 			if order < 2 || order > maxOrder || cur.Has(h) || !cur.Hierarchical(h) {
 				continue
 			}
-			cand := cur.With(h)
-			fit, err := fitModelInit(tb, cand, opt.Limit, d, warmStart(cur, cand, h, curFit.Coef))
-			if err != nil {
-				continue // singular candidate: skip
-			}
-			ic := icOf(tb, cand, fit, opt, d)
-			if ic < bestIC {
-				bestIC, best, bestFit, found = ic, cand, fit, true
-			}
+			cands = append(cands, h)
 		}
-		if !found || bestIC >= curIC-icDelta {
+		if len(cands) == 0 {
 			break
 		}
-		cur, curIC, curFit = best, bestIC, bestFit
+		if cap(fits) < len(cands) {
+			fits = make([]*FitResult, len(cands))
+			ics = make([]float64, len(cands))
+		}
+		fits = fits[:len(cands)]
+		ics = ics[:len(cands)]
+		warm := curFit.Coef
+		parallel.ForEach(len(cands), func(i int) {
+			fits[i] = nil
+			h := cands[i]
+			cand := cur.With(h)
+			fit, err := fitModelInit(tb, cand, opt.Limit, d, warmStart(cur, cand, h, warm))
+			if err != nil {
+				return // singular candidate: skip
+			}
+			fits[i] = fit
+			ics[i] = icOf(tb, cand, fit, opt, d)
+		})
+		// Mask-ordered reduction: the strict < keeps the lowest mask on IC
+		// ties, exactly as the serial ascending-h scan did, so the selected
+		// model is bit-identical regardless of worker count.
+		bestIC := math.Inf(1)
+		best := -1
+		for i := range cands {
+			if fits[i] != nil && ics[i] < bestIC {
+				bestIC, best = ics[i], i
+			}
+		}
+		if best < 0 || bestIC >= curIC-icDelta {
+			break
+		}
+		cur, curIC, curFit = fits[best].Model, bestIC, fits[best]
 	}
 	return cur, curIC, nil
 }

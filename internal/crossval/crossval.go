@@ -12,6 +12,7 @@ import (
 
 	"ghosts/internal/core"
 	"ghosts/internal/ipset"
+	"ghosts/internal/parallel"
 	"ghosts/internal/sources"
 )
 
@@ -34,20 +35,23 @@ func (r SourceResult) Error() float64 { return r.Est - float64(r.Truth) }
 
 // Run performs the leave-one-out cross-validation over the named sets.
 // withCI additionally computes profile intervals (Figure 3); it is the
-// expensive part, so Table 3's sweeps leave it off.
+// expensive part, so Table 3's sweeps leave it off. The per-source runs
+// are independent, so they fan out over the parallel worker pool; results
+// are collected in source order, identical to a serial run.
 func Run(names []sources.Name, sets []*ipset.Set, est *core.Estimator, withCI bool) []SourceResult {
 	k := len(sets)
-	out := make([]SourceResult, 0, k)
 	pingIdx := -1
 	for i, n := range names {
 		if n == sources.IPING {
 			pingIdx = i
 		}
 	}
-	for i := 0; i < k; i++ {
+	results := make([]SourceResult, k)
+	done := make([]bool, k)
+	parallel.ForEach(k, func(i int) {
 		uni := sets[i]
 		if uni.Len() == 0 {
-			continue
+			return
 		}
 		restricted := make([]*ipset.Set, 0, k-1)
 		for j := 0; j < k; j++ {
@@ -82,7 +86,14 @@ func Run(names []sources.Name, sets []*ipset.Set, est *core.Estimator, withCI bo
 			res.Est = r.N
 			res.Lo, res.Hi = r.Interval.Lo, r.Interval.Hi
 		}
-		out = append(out, res)
+		results[i] = res
+		done[i] = true
+	})
+	out := make([]SourceResult, 0, k)
+	for i := range results {
+		if done[i] {
+			out = append(out, results[i])
+		}
 	}
 	return out
 }

@@ -2,10 +2,12 @@ package crossval
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"ghosts/internal/core"
 	"ghosts/internal/dataset"
+	"ghosts/internal/parallel"
 	"ghosts/internal/sources"
 	"ghosts/internal/universe"
 	"ghosts/internal/windows"
@@ -116,5 +118,22 @@ func TestErrors(t *testing.T) {
 	}
 	if r, m := Errors(nil); r != 0 || m != 0 {
 		t.Fatal("empty errors must be 0")
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	// The leave-one-out fan-out must return byte-identical results in
+	// source order regardless of worker count.
+	defer parallel.SetWorkers(0)
+	b := bundle(t)
+	est := core.NewEstimator(core.BIC, core.Adaptive1000, math.Inf(1))
+	est.MaxTerms = 3
+	est.MaxOrder = 2
+	parallel.SetWorkers(1)
+	serial := Run(b.Names, b.Sets, est, false)
+	parallel.SetWorkers(8)
+	par := Run(b.Names, b.Sets, est, false)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel results differ from serial:\nserial: %+v\nparallel: %+v", serial, par)
 	}
 }

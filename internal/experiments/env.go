@@ -13,6 +13,7 @@ import (
 	"ghosts/internal/core"
 	"ghosts/internal/dataset"
 	"ghosts/internal/ipset"
+	"ghosts/internal/parallel"
 	"ghosts/internal/sources"
 	"ghosts/internal/strata"
 	"ghosts/internal/universe"
@@ -116,8 +117,11 @@ func (e *Env) Estimates(opt dataset.Options, s24 bool, withCI bool) []WindowEsti
 	if ok {
 		return cached
 	}
-	out := make([]WindowEstimate, 0, len(e.Win))
-	for i := range e.Win {
+	// Windows are independent: collect and estimate them concurrently,
+	// writing each result into its window's slot so the series is
+	// identical to a serial run.
+	out := make([]WindowEstimate, len(e.Win))
+	parallel.ForEach(len(e.Win), func(i int) {
 		b := e.Bundle(i, opt)
 		we := WindowEstimate{Window: b.Window}
 		sets := b.Sets
@@ -158,8 +162,8 @@ func (e *Env) Estimates(opt dataset.Options, s24 bool, withCI bool) []WindowEsti
 		} else {
 			we.Est = we.Observed
 		}
-		out = append(out, we)
-	}
+		out[i] = we
+	})
 	e.mu.Lock()
 	e.estimates[key] = out
 	e.mu.Unlock()
@@ -201,7 +205,7 @@ func (e *Env) StratSeries(k strata.Key, s24 bool) []map[string]float64 {
 		return cached
 	}
 	out := make([]map[string]float64, len(e.Win))
-	for i := range e.Win {
+	parallel.ForEach(len(e.Win), func(i int) {
 		b := e.Bundle(i, dataset.DefaultOptions())
 		sets := b.Sets
 		if s24 {
@@ -237,7 +241,7 @@ func (e *Env) StratSeries(k strata.Key, s24 bool) []map[string]float64 {
 			}
 		}
 		out[i] = m
-	}
+	})
 	e.mu.Lock()
 	e.stratCache[ck] = out
 	e.mu.Unlock()
@@ -248,7 +252,7 @@ func (e *Env) StratSeries(k strata.Key, s24 bool) []map[string]float64 {
 // per stratum, for the "Observed" halves of Figures 7–9.
 func (e *Env) StratObservedSeries(k strata.Key, s24 bool) []map[string]float64 {
 	out := make([]map[string]float64, len(e.Win))
-	for i := range e.Win {
+	parallel.ForEach(len(e.Win), func(i int) {
 		b := e.Bundle(i, dataset.DefaultOptions())
 		sets := b.Sets
 		if s24 {
@@ -266,7 +270,7 @@ func (e *Env) StratObservedSeries(k strata.Key, s24 bool) []map[string]float64 {
 			}
 		}
 		out[i] = m
-	}
+	})
 	return out
 }
 

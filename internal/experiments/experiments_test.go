@@ -3,11 +3,13 @@ package experiments
 import (
 	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
 	"ghosts/internal/dataset"
+	"ghosts/internal/parallel"
 	"ghosts/internal/registry"
 	"ghosts/internal/sources"
 	"ghosts/internal/universe"
@@ -614,5 +616,25 @@ func TestJSONEncodable(t *testing.T) {
 		if _, err := json.Marshal(r); err != nil {
 			t.Errorf("%T not JSON-encodable: %v", r, err)
 		}
+	}
+}
+
+func TestEstimatesDeterministicAcrossWorkers(t *testing.T) {
+	// The per-window fan-out must produce a series byte-identical to the
+	// serial pipeline. Fresh environments on both sides keep the caches
+	// from short-circuiting the comparison; a truncated window list keeps
+	// the test fast.
+	defer parallel.SetWorkers(0)
+	run := func(workers int) []WindowEstimate {
+		parallel.SetWorkers(workers)
+		e := New(universe.TinyConfig(5), 99)
+		e.MaxTerms = 3
+		e.Win = e.Win[:4]
+		return e.Estimates(dataset.DefaultOptions(), false, false)
+	}
+	serial := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel estimates differ from serial:\nserial: %+v\nparallel: %+v", serial, par)
 	}
 }

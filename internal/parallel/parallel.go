@@ -1,0 +1,89 @@
+// Package parallel provides the bounded worker pool behind the estimation
+// engine's fan-out points: the stepwise model search scans candidate terms
+// concurrently, the experiment sweeps fan out across windows and strata,
+// cross-validation across held-out sources, and the bootstrap across
+// replicates. Every fan-out writes results into caller-indexed slots and
+// reduces them in a fixed order, so a parallel run is bit-identical to the
+// serial one regardless of goroutine scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride holds the user-requested worker count; 0 means "use
+// runtime.GOMAXPROCS", which tracks the -parallel CLI flag's default.
+var workerOverride atomic.Int32
+
+// SetWorkers fixes the fan-out width for all subsequent ForEach calls.
+// n <= 0 restores the default (runtime.GOMAXPROCS at call time). n == 1
+// forces fully serial execution, which is useful for debugging and for
+// verifying the determinism guarantee.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int32(n))
+}
+
+// Workers returns the effective fan-out width.
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes f(i) for every i in [0, n), spreading the calls over at
+// most Workers() goroutines, and returns once all calls have finished.
+// Indices are claimed from a shared atomic counter, so the invocation order
+// is unspecified: callers must keep iterations independent and store
+// results in per-index slots. A panic in any f is re-raised in the caller
+// after the pool drains, so a crashing iteration cannot leak goroutines.
+func ForEach(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+					// Drain remaining work so the other workers exit quickly.
+					next.Store(int64(n))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

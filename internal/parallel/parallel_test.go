@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		SetWorkers(workers)
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			hits := make([]int32, n)
+			ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", Workers())
+	}
+	SetWorkers(-5) // negative resets to default
+	if Workers() < 1 {
+		t.Fatalf("Workers() after negative set = %d", Workers())
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	// With one worker the calls must run in index order.
+	defer SetWorkers(0)
+	SetWorkers(1)
+	var order []int
+	ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in worker should propagate to caller")
+		}
+	}()
+	ForEach(16, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachNested(t *testing.T) {
+	// Nested fan-outs (search inside cross-validation inside a window
+	// sweep) must complete and cover every (i, j) pair exactly once.
+	defer SetWorkers(0)
+	SetWorkers(4)
+	const n, m = 6, 8
+	var hits [n * m]int32
+	ForEach(n, func(i int) {
+		ForEach(m, func(j int) { atomic.AddInt32(&hits[i*m+j], 1) })
+	})
+	for k, h := range hits {
+		if h != 1 {
+			t.Fatalf("pair %d hit %d times", k, h)
+		}
+	}
+}

@@ -18,6 +18,38 @@ type GLMResult struct {
 // comfortably exceeds any count in the IPv4 space.
 const maxEta = 30
 
+// Workspace holds the scratch buffers of one Fisher-scoring fit so hot
+// loops (the stepwise search, profile-interval bisection, bootstrap
+// replication) can reuse them across fits instead of reallocating every
+// iteration. The zero value is ready; buffers grow on demand and are
+// retained. A Workspace is not safe for concurrent use — keep one per
+// goroutine.
+type Workspace struct {
+	mu, wgt    []float64 // per-row truncated mean and variance
+	xtwx, chol []float64 // p×p normal equations and Cholesky factor
+	xtr        []float64 // p-vector Xᵀ(y−μ) / solve scratch
+	delta      []float64 // Fisher step
+	coef, cand []float64 // current and trial coefficients
+}
+
+// reserve sizes every buffer for an n-row, p-column fit.
+func (ws *Workspace) reserve(n, p int) {
+	grow := func(b []float64, want int) []float64 {
+		if cap(b) < want {
+			return make([]float64, want)
+		}
+		return b[:want]
+	}
+	ws.mu = grow(ws.mu, n)
+	ws.wgt = grow(ws.wgt, n)
+	ws.xtwx = grow(ws.xtwx, p*p)
+	ws.chol = grow(ws.chol, p*p)
+	ws.xtr = grow(ws.xtr, p)
+	ws.delta = grow(ws.delta, p)
+	ws.coef = grow(ws.coef, p)
+	ws.cand = grow(ws.cand, p)
+}
+
 // FitPoissonGLM fits a log-link Poisson regression of counts y on the
 // design matrix x by Fisher scoring. limits optionally gives a right
 // truncation bound per observation (§3.3.1); pass nil or +Inf entries for
@@ -31,27 +63,36 @@ func FitPoissonGLM(x [][]float64, y []float64, limits []float64) (*GLMResult, er
 // stepwise model search passes the parent model's fit (with a zero for the
 // added column), typically cutting Fisher iterations several-fold.
 func FitPoissonGLMInit(x [][]float64, y []float64, limits []float64, init []float64) (*GLMResult, error) {
-	n := len(x)
+	if len(x) == 0 || len(y) != len(x) {
+		return nil, errors.New("stats: empty design or dimension mismatch")
+	}
+	return FitPoissonGLMFlat(matrixFromRows(x), y, limits, init, nil)
+}
+
+// FitPoissonGLMFlat is the allocation-lean core fit over a flat row-major
+// design. ws supplies reusable scratch; pass nil for a one-off fit. Only
+// the returned GLMResult escapes — the design and workspace are never
+// retained.
+func FitPoissonGLMFlat(x Matrix, y []float64, limits []float64, init []float64, ws *Workspace) (*GLMResult, error) {
+	n, p := x.Rows, x.Cols
 	if n == 0 || len(y) != n {
 		return nil, errors.New("stats: empty design or dimension mismatch")
 	}
-	p := len(x[0])
 	if p == 0 || p > n {
 		return nil, errors.New("stats: design must have 1..n columns")
 	}
-	lim := func(i int) float64 {
-		if limits == nil {
-			return math.Inf(1)
-		}
-		return limits[i]
+	if ws == nil {
+		ws = &Workspace{}
 	}
+	ws.reserve(n, p)
 
-	coef := make([]float64, p)
+	coef := ws.coef[:p]
 	if len(init) == p {
 		copy(coef, init)
 	} else {
 		// Initialise the intercept (assumed to be column 0 when it is
-		// constant 1; harmless otherwise) at log of the mean count.
+		// constant 1; harmless otherwise) at log of the mean count; zero the
+		// rest.
 		meanY := 0.0
 		for _, v := range y {
 			meanY += v
@@ -60,7 +101,17 @@ func FitPoissonGLMInit(x [][]float64, y []float64, limits []float64, init []floa
 		if meanY <= 0 {
 			meanY = 0.5
 		}
+		for j := range coef {
+			coef[j] = 0
+		}
 		coef[0] = math.Log(meanY)
+	}
+
+	lim := func(i int) float64 {
+		if limits == nil {
+			return math.Inf(1)
+		}
+		return limits[i]
 	}
 
 	// Σ ln(y_i!) is constant across iterations; hoist it out of the
@@ -73,18 +124,16 @@ func FitPoissonGLMInit(x [][]float64, y []float64, limits []float64, init []floa
 	var it int
 	converged := false
 	for it = 0; it < 200; it++ {
-		// Score and Fisher information at the current coefficients.
-		eta := make([]float64, n)
-		mu := make([]float64, n)  // truncated mean
-		wgt := make([]float64, n) // truncated variance
+		// Score and Fisher information at the current coefficients, into
+		// the hoisted buffers.
+		mu, wgt := ws.mu[:n], ws.wgt[:n]
 		for i := 0; i < n; i++ {
-			e := dot(x[i], coef)
+			e := dot(x.Row(i), coef)
 			if e > maxEta {
 				e = maxEta
 			} else if e < -maxEta {
 				e = -maxEta
 			}
-			eta[i] = e
 			tp := TruncPoisson{Lambda: math.Exp(e), Limit: lim(i)}
 			mu[i] = tp.Mean()
 			w := tp.Variance()
@@ -94,49 +143,52 @@ func FitPoissonGLMInit(x [][]float64, y []float64, limits []float64, init []floa
 			wgt[i] = w
 		}
 		// Normal equations: (XᵀWX) δ = Xᵀ(y − μ).
-		xtwx := make([][]float64, p)
-		for a := range xtwx {
-			xtwx[a] = make([]float64, p)
+		xtwx := ws.xtwx[:p*p]
+		for j := range xtwx {
+			xtwx[j] = 0
 		}
-		xtr := make([]float64, p)
+		xtr := ws.xtr[:p]
+		for j := range xtr {
+			xtr[j] = 0
+		}
 		for i := 0; i < n; i++ {
+			xi := x.Row(i)
 			r := y[i] - mu[i]
 			for a := 0; a < p; a++ {
-				va := x[i][a]
+				va := xi[a]
 				if va == 0 {
 					continue
 				}
 				xtr[a] += va * r
 				wa := wgt[i] * va
-				row := xtwx[a]
+				row := xtwx[a*p:]
 				for b := a; b < p; b++ {
-					row[b] += wa * x[i][b]
+					row[b] += wa * xi[b]
 				}
 			}
 		}
 		for a := 1; a < p; a++ {
 			for b := 0; b < a; b++ {
-				xtwx[a][b] = xtwx[b][a]
+				xtwx[a*p+b] = xtwx[b*p+a]
 			}
 		}
-		delta, err := SolveSPD(xtwx, xtr)
-		if err != nil {
+		delta := ws.delta[:p]
+		if err := solveSPDFlat(xtwx, p, xtr, delta, ws.chol); err != nil {
 			return nil, err
 		}
 		// Step halving: accept the longest step that does not reduce the
 		// log-likelihood.
 		step := 1.0
-		var next []float64
 		var nextLL float64
 		improved := false
+		cand := ws.cand[:p]
 		for h := 0; h < 30; h++ {
-			cand := make([]float64, p)
 			for j := range cand {
 				cand[j] = coef[j] + step*delta[j]
 			}
 			candLL := glmLogLik(x, y, limits, cand, logFactSum)
 			if candLL >= ll-1e-12 && !math.IsNaN(candLL) {
-				next, nextLL, improved = cand, candLL, true
+				nextLL, improved = candLL, true
 				break
 			}
 			step /= 2
@@ -145,7 +197,8 @@ func FitPoissonGLMInit(x [][]float64, y []float64, limits []float64, init []floa
 			break
 		}
 		done := math.Abs(nextLL-ll) < 1e-9*(math.Abs(ll)+1)
-		coef, ll = next, nextLL
+		ws.coef, ws.cand = cand, coef // swap buffers instead of copying
+		coef, ll = cand, nextLL
 		if done {
 			converged = true
 			break
@@ -154,14 +207,16 @@ func FitPoissonGLMInit(x [][]float64, y []float64, limits []float64, init []floa
 
 	fitted := make([]float64, n)
 	for i := range fitted {
-		e := dot(x[i], coef)
+		e := dot(x.Row(i), coef)
 		if e > maxEta {
 			e = maxEta
 		}
 		fitted[i] = math.Exp(e)
 	}
+	outCoef := make([]float64, p)
+	copy(outCoef, coef)
 	return &GLMResult{
-		Coef:       coef,
+		Coef:       outCoef,
 		Fitted:     fitted,
 		LogLik:     ll,
 		Iterations: it + 1,
@@ -172,10 +227,10 @@ func FitPoissonGLMInit(x [][]float64, y []float64, limits []float64, init []floa
 // glmLogLik evaluates the (possibly right-truncated) Poisson
 // log-likelihood of counts y under coefficients coef; logFactSum is the
 // precomputed Σ ln(y_i!).
-func glmLogLik(x [][]float64, y []float64, limits []float64, coef []float64, logFactSum float64) float64 {
+func glmLogLik(x Matrix, y []float64, limits []float64, coef []float64, logFactSum float64) float64 {
 	ll := -logFactSum
-	for i := range x {
-		e := dot(x[i], coef)
+	for i := 0; i < x.Rows; i++ {
+		e := dot(x.Row(i), coef)
 		if e > maxEta {
 			e = maxEta
 		} else if e < -maxEta {

@@ -159,3 +159,81 @@ func BenchmarkGLMFit(b *testing.B) {
 		}
 	}
 }
+
+func TestGLMFlatMatchesRowAPI(t *testing.T) {
+	// The flat workspace kernel must be bit-identical to the [][]float64
+	// entry point, and a reused workspace must not leak state across fits.
+	r := rng.New(17)
+	const n = 63
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	limits := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []float64{1, r.Float64(), r.Float64()}
+		y[i] = float64(r.Poisson(40))
+		limits[i] = 90
+	}
+	want, err := FitPoissonGLM(rows, y, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matrixFromRows(rows)
+	var ws Workspace
+	for trial := 0; trial < 3; trial++ {
+		got, err := FitPoissonGLMFlat(m, y, limits, nil, &ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.LogLik != want.LogLik || got.Iterations != want.Iterations {
+			t.Fatalf("trial %d: flat fit (ll=%v it=%d) != row fit (ll=%v it=%d)",
+				trial, got.LogLik, got.Iterations, want.LogLik, want.Iterations)
+		}
+		for j := range want.Coef {
+			if got.Coef[j] != want.Coef[j] {
+				t.Fatalf("trial %d: coef[%d] = %v, want %v", trial, j, got.Coef[j], want.Coef[j])
+			}
+		}
+	}
+}
+
+func TestMatrixRow(t *testing.T) {
+	m := NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			m.Row(i)[j] = float64(10*i + j)
+		}
+	}
+	if m.Data[5] != 21 {
+		t.Fatalf("row-major layout broken: %v", m.Data)
+	}
+	// Row views must be capacity-clamped so an append cannot spill into the
+	// next row.
+	r0 := m.Row(0)
+	r0 = append(r0, -1)
+	if m.Data[2] == -1 {
+		t.Fatal("append through a row view corrupted the next row")
+	}
+	_ = r0
+}
+
+func BenchmarkGLMFitWorkspace(b *testing.B) {
+	// The alloc-lean path the estimation engine actually runs: flat design,
+	// reused workspace.
+	r := rng.New(3)
+	const n = 127
+	x := NewMatrix(n, 4)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		row[0], row[1], row[2], row[3] = 1, r.Float64(), r.Float64(), r.Float64()
+		y[i] = float64(r.Poisson(50))
+	}
+	var ws Workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitPoissonGLMFlat(x, y, nil, nil, &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

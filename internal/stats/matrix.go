@@ -1,0 +1,31 @@
+package stats
+
+// Matrix is a dense row-major matrix backed by a single flat slice. The
+// GLM kernel and the model-design cache use it instead of [][]float64 so a
+// whole design stays in one allocation and rows share cache lines.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) Matrix {
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Row returns row i as a slice view into the backing array.
+func (m Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols : (i+1)*m.Cols]
+}
+
+// matrixFromRows copies a [][]float64 design into flat form.
+func matrixFromRows(x [][]float64) Matrix {
+	if len(x) == 0 {
+		return Matrix{}
+	}
+	m := NewMatrix(len(x), len(x[0]))
+	for i, row := range x {
+		copy(m.Row(i), row)
+	}
+	return m
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Snapshot the benchmark suite into BENCH_<date>.json so the performance
+# trajectory is tracked PR over PR.
+#
+# Usage: scripts/bench.sh [bench-regex] [benchtime]
+#   scripts/bench.sh                          # full suite, 1 iteration each
+#   scripts/bench.sh 'CrossValidation' 5x     # one benchmark, 5 iterations
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-.}"
+BENCHTIME="${2:-1x}"
+OUT="BENCH_$(date +%Y-%m-%d).json"
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$TXT"
+
+# Convert `BenchmarkName  iters  123 ns/op  456 B/op  7 allocs/op  8.9 metric`
+# lines into a JSON array of {name, iters, metrics{unit: value}} objects.
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+    if (!first) printf(",\n"); first = 0
+    printf("  {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", $1, $2)
+    sep = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        gsub(/"/, "", $(i+1))
+        printf("%s\"%s\": %s", sep, $(i+1), $i)
+        sep = ", "
+    }
+    printf("}}")
+}
+END { print "\n]" }
+' "$TXT" > "$OUT"
+
+echo "wrote $OUT"

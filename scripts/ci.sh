@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI gate: build, vet, then the full test suite under the race detector.
+# The estimation engine is concurrent (see DESIGN.md "Performance"), so the
+# race detector is mandatory, not optional.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"
