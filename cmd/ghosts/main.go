@@ -3,21 +3,30 @@
 //
 // Usage:
 //
-//	ghosts -exp all                 # run every experiment at small scale
-//	ghosts -exp table5 -scale tiny  # one experiment, fast
-//	ghosts -exp fig4,fig5 -seed 7   # comma-separated experiment ids
-//	ghosts -exp all -parallel 4     # cap the estimation engine at 4 workers
-//	ghosts -list                    # list experiment ids
+//	ghosts -exp all                      # run every experiment at small scale
+//	ghosts -exp table5 -scale tiny       # one experiment, fast
+//	ghosts -exp fig4,fig5 -seed 7        # comma-separated experiment ids
+//	ghosts -exp all -parallel 4          # cap the estimation engine at 4 workers
+//	ghosts -exp summary -metrics r.json  # write the telemetry run report
+//	ghosts -exp all -progress            # periodic progress lines on stderr
+//	ghosts -list                         # list experiment ids
+//	ghosts -h                            # full flag and experiment reference
 //
 // Experiment ids: table2 table3 table4 table5 table6 fig2 fig3 fig4 fig5
 // fig6 fig7 fig8 fig9 fig10 fig11 fig12 churn pools estimators ports summary
+//
+// OBSERVABILITY.md documents the telemetry flags (-metrics, -progress,
+// -debug-addr) and every metric in the run report.
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the -debug-addr server
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,6 +37,7 @@ import (
 	"ghosts/internal/experiments"
 	"ghosts/internal/parallel"
 	"ghosts/internal/report"
+	"ghosts/internal/telemetry"
 	"ghosts/internal/universe"
 )
 
@@ -66,25 +76,82 @@ func catalogue() []experiment {
 	}
 }
 
+// usage prints the full flag reference plus one line per experiment id, so
+// `-h` is a complete index of what the binary can run (the titles mirror
+// the per-experiment sections of EXPERIMENTS.md).
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintf(w, `Usage: ghosts [flags]
+
+Reproduces the tables and figures of "Capturing Ghosts: Predicting the Used
+IPv4 Space by Inferring Unobserved Addresses" (IMC 2014) against a simulated
+Internet, or runs the two-stage -collect/-estimate pipeline on .gset files.
+
+Flags:
+`)
+	flag.PrintDefaults()
+	fmt.Fprintf(w, "\nExperiments (-exp id[,id...], or -exp all):\n")
+	for _, ex := range catalogue() {
+		fmt.Fprintf(w, "  %-10s %s\n", ex.id, ex.title)
+	}
+	fmt.Fprintf(w, `
+EXPERIMENTS.md records how each experiment compares with the paper;
+OBSERVABILITY.md documents the telemetry flags (-metrics, -progress,
+-debug-addr) and every metric in the run report.
+`)
+}
+
 func main() {
 	var (
-		expFlag     = flag.String("exp", "summary", "comma-separated experiment ids, or 'all'")
-		scaleFlag   = flag.String("scale", "small", "universe scale: tiny, small, medium")
-		seedFlag    = flag.Uint64("seed", 42, "simulation seed")
-		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
-		outFlag     = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+		expFlag      = flag.String("exp", "summary", "comma-separated experiment ids, or 'all' (see -list)")
+		scaleFlag    = flag.String("scale", "small", "universe scale: tiny, small, medium")
+		seedFlag     = flag.Uint64("seed", 42, "simulation seed")
+		listFlag     = flag.Bool("list", false, "list experiment ids and exit")
+		outFlag      = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
 		collectFlag  = flag.String("collect", "", "simulate the final window and write per-source .gset files to this directory, then exit")
 		estFlag      = flag.String("estimate", "", "load .gset files from this directory, estimate, and exit")
 		parallelFlag = flag.Int("parallel", 0, "worker goroutines for the estimation engine (0 = GOMAXPROCS, 1 = serial)")
+		metricsFlag  = flag.String("metrics", "", "write a JSON telemetry run report to this path (see OBSERVABILITY.md)")
+		progressFlag = flag.Bool("progress", false, "print periodic telemetry progress lines to stderr")
+		debugFlag    = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	)
+	flag.Usage = usage
 	flag.Parse()
 	parallel.SetWorkers(*parallelFlag)
+
+	// Any telemetry flag turns the recorder on; otherwise the instrumented
+	// hot paths stay on their no-op fast path.
+	start := time.Now()
+	var rec *telemetry.Recorder
+	if *metricsFlag != "" || *progressFlag || *debugFlag != "" {
+		rec = telemetry.NewRecorder()
+		telemetry.Enable(rec)
+	}
+	if *progressFlag {
+		stop := rec.StartProgress(os.Stderr, 2*time.Second)
+		defer stop()
+	}
+	if *debugFlag != "" {
+		serveDebug(*debugFlag, rec, start)
+	}
+	writeMetrics := func() {
+		if *metricsFlag == "" {
+			return
+		}
+		rep := rec.Report(start, time.Now(), parallel.Workers())
+		if err := rep.WriteFile(*metricsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote telemetry run report to %s\n", *metricsFlag)
+	}
 
 	if *estFlag != "" {
 		if err := estimate(*estFlag); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		writeMetrics()
 		return
 	}
 
@@ -136,7 +203,6 @@ func main() {
 	}
 
 	fmt.Printf("# capturing ghosts — scale=%s seed=%d\n", *scaleFlag, *seedFlag)
-	start := time.Now()
 	env := experiments.New(cfg, *seedFlag)
 	if *collectFlag != "" {
 		if err := collect(env, *collectFlag); err != nil {
@@ -145,6 +211,7 @@ func main() {
 		}
 		fmt.Printf("\ncollected in %v; estimate with: ghosts -estimate %s\n",
 			time.Since(start).Round(time.Millisecond), *collectFlag)
+		writeMetrics()
 		return
 	}
 	for _, ex := range cat {
@@ -153,8 +220,12 @@ func main() {
 		}
 		t0 := time.Now()
 		fmt.Printf("\n== %s: %s ==\n", ex.id, ex.title)
+		// The span covers both building and rendering: several experiments
+		// (e.g. summary) compute lazily inside Render.
+		sp := rec.StartSpan("exp." + ex.id)
 		result := ex.run(env)
 		result.Render(os.Stdout)
+		sp.End(1)
 		if *outFlag != "" {
 			if err := writeOutput(*outFlag, ex.id, result); err != nil {
 				fmt.Fprintf(os.Stderr, "writing %s: %v\n", ex.id, err)
@@ -164,6 +235,23 @@ func main() {
 		fmt.Printf("(%s in %v)\n", ex.id, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+	writeMetrics()
+}
+
+// serveDebug exposes the standard debug endpoints on addr: /debug/vars
+// (expvar, including a live "telemetry" report) and /debug/pprof/*. The
+// server runs for the life of the process; failures to bind are reported
+// but never abort an estimation run.
+func serveDebug(addr string, rec *telemetry.Recorder, start time.Time) {
+	expvar.Publish("telemetry", expvar.Func(func() any {
+		return rec.Report(start, time.Now(), parallel.Workers())
+	}))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "debug server on %s: %v\n", addr, err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "debug endpoints: http://%s/debug/vars http://%s/debug/pprof/\n", addr, addr)
 }
 
 // writeOutput renders one experiment into <dir>/<id>.txt and its typed

@@ -1,7 +1,3 @@
-// Package bgp models the RouteViews-derived routed space (§4.4, §6.1): for
-// each time window the weekly RIB snapshots are aggregated (unioned) into a
-// prefix trie that bounds the capture-recapture estimates and defines which
-// observed addresses survive preprocessing.
 package bgp
 
 import (

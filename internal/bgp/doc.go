@@ -1,0 +1,11 @@
+// Package bgp models the RouteViews-derived routed space (§4.4, §6.1): for
+// each time window the weekly RIB snapshots are aggregated (unioned) into a
+// prefix trie that bounds the capture-recapture estimates and defines which
+// observed addresses survive preprocessing.
+//
+// The main entry points are Snapshot (one simulated weekly RIB), Aggregate
+// (the per-window union the dataset layer consumes), RoutedCounts (routed
+// address and /24 totals, the truncation bounds of §3.3.1), and
+// WriteRIB/ReadRIB, which round-trip snapshots through a text format so
+// routed tables can be persisted and reloaded.
+package bgp

@@ -7,6 +7,7 @@ import (
 
 	"ghosts/internal/parallel"
 	"ghosts/internal/rng"
+	"ghosts/internal/telemetry"
 )
 
 // BootstrapInterval computes a parametric-bootstrap percentile interval
@@ -23,6 +24,8 @@ func BootstrapInterval(tb *Table, fit *FitResult, limit float64, b int, conf flo
 	if conf <= 0 || conf >= 1 {
 		return Interval{}, errors.New("core: confidence must be in (0,1)")
 	}
+	sp := telemetry.Active().StartSpan("core.bootstrap")
+	defer sp.End(int64(b))
 	// Fitted cell means from the model's coefficients.
 	refit, err := FitModel(tb, fit.Model, limit, 1)
 	if err != nil {
@@ -75,6 +78,7 @@ func BootstrapInterval(tb *Table, fit *FitResult, limit float64, b int, conf flo
 			ests = append(ests, n)
 		}
 	}
+	telemetry.Active().BootstrapDone(b, b-len(ests))
 	if len(ests) < b/2 {
 		return Interval{}, errors.New("core: too many bootstrap replicates failed")
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"ghosts/internal/stats"
+	"ghosts/internal/telemetry"
 )
 
 // Model identifies a hierarchical log-linear model by its interaction
@@ -164,7 +165,10 @@ type fitScratch struct {
 	limits []float64
 }
 
-var fitPool = sync.Pool{New: func() any { return new(fitScratch) }}
+var fitPool = sync.Pool{New: func() any {
+	telemetry.Active().PoolMiss()
+	return new(fitScratch)
+}}
 
 // FitModel fits model m to the table by maximum likelihood. A finite limit
 // right-truncates every cell's Poisson distribution at limit (§3.3.1: the
@@ -184,6 +188,7 @@ func fitModelInit(tb *Table, m Model, limit float64, scale float64, init []float
 	}
 	x := m.design()
 	n := x.Rows
+	telemetry.Active().PoolGet()
 	sc := fitPool.Get().(*fitScratch)
 	defer fitPool.Put(sc)
 	if cap(sc.y) < n {

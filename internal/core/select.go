@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"ghosts/internal/parallel"
+	"ghosts/internal/telemetry"
 )
 
 // IC selects the information criterion used for model selection (§3.3.2).
@@ -105,6 +106,8 @@ func SelectModel(tb *Table, opt SelectionOptions) (Model, float64, error) {
 			maxTerms = 0
 		}
 	}
+	rec := telemetry.Active()
+	defer rec.SelectionDone()
 	d := opt.Divisor.divisor(tb)
 	cur := IndependenceModel(t)
 	curFit, err := fitModelInit(tb, cur, opt.Limit, d, nil)
@@ -131,6 +134,7 @@ func SelectModel(tb *Table, opt SelectionOptions) (Model, float64, error) {
 		if len(cands) == 0 {
 			break
 		}
+		rec.SelectRound(len(cands))
 		if cap(fits) < len(cands) {
 			fits = make([]*FitResult, len(cands))
 			ics = make([]float64, len(cands))
@@ -162,6 +166,7 @@ func SelectModel(tb *Table, opt SelectionOptions) (Model, float64, error) {
 		if best < 0 || bestIC >= curIC-icDelta {
 			break
 		}
+		rec.TermAccepted(curIC - bestIC)
 		cur, curIC, curFit = fits[best].Model, bestIC, fits[best]
 	}
 	return cur, curIC, nil

@@ -1,16 +1,3 @@
-// Package core implements the paper's primary contribution: log-linear
-// capture-recapture (CR) estimation of the number of used-but-unobserved
-// IPv4 addresses ("ghosts") from the capture histories of multiple
-// measurement sources (§3).
-//
-// The entry point is Estimator.Estimate, which takes a contingency Table of
-// capture-history counts, selects a hierarchical log-linear model by
-// AIC/BIC with the paper's count-divisor heuristic and −7 rule (§3.3.2),
-// fits it by (optionally right-truncated) Poisson maximum likelihood
-// (§3.3.1), and returns the point estimate together with a
-// profile-likelihood interval (§3.3.3). Classical baselines
-// (Lincoln–Petersen, Chao's lower bound, the Heidemann ×1.86 ping
-// correction) are provided for comparison.
 package core
 
 import (

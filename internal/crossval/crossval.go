@@ -1,10 +1,3 @@
-// Package crossval implements the paper's validation harness (§5): with k
-// sources, each source i in turn is treated as the "universe" of
-// individuals; the other k−1 sources, restricted to i's members, become
-// the CR samples, and the estimator predicts how many of i's members none
-// of them saw. Since that number is known exactly, the prediction error is
-// measurable — this drives the model-selection comparison of Table 3 and
-// the per-source panels of Figure 3.
 package crossval
 
 import (
@@ -14,6 +7,7 @@ import (
 	"ghosts/internal/ipset"
 	"ghosts/internal/parallel"
 	"ghosts/internal/sources"
+	"ghosts/internal/telemetry"
 )
 
 // SourceResult is the outcome of one leave-one-source-as-universe run.
@@ -40,6 +34,8 @@ func (r SourceResult) Error() float64 { return r.Est - float64(r.Truth) }
 // are collected in source order, identical to a serial run.
 func Run(names []sources.Name, sets []*ipset.Set, est *core.Estimator, withCI bool) []SourceResult {
 	k := len(sets)
+	sp := telemetry.Active().StartSpan("crossval.run")
+	defer sp.End(int64(k))
 	pingIdx := -1
 	for i, n := range names {
 		if n == sources.IPING {

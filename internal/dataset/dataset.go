@@ -1,9 +1,3 @@
-// Package dataset assembles the per-window data bundle the estimators
-// consume: the aggregated routed table (§4.4), the nine source
-// observations, and — unless disabled — the spoof-filtered versions of the
-// NetFlow sources (§4.5). It is the single place where the paper's
-// preprocessing pipeline is wired together, shared by the experiments, the
-// cross-validation harness and the CLI.
 package dataset
 
 import (

@@ -1,0 +1,13 @@
+// Package dataset assembles the per-window data bundle the estimators
+// consume: the aggregated routed table (§4.4), the nine source
+// observations, and — unless disabled — the spoof-filtered versions of the
+// NetFlow sources (§4.5). It is the single place where the paper's
+// preprocessing pipeline is wired together, shared by the experiments, the
+// cross-validation harness and the CLI.
+//
+// The main entry point is Collect, which runs the pipeline for one window
+// under the given Options (DefaultOptions gives the paper's settings) and
+// returns a Bundle: the routed trie with its address//24 totals, and the
+// preprocessed observation sets in canonical source order (Sets24 projects
+// them to /24 granularity).
+package dataset

@@ -16,6 +16,7 @@ import (
 	"ghosts/internal/parallel"
 	"ghosts/internal/sources"
 	"ghosts/internal/strata"
+	"ghosts/internal/telemetry"
 	"ghosts/internal/universe"
 	"ghosts/internal/windows"
 )
@@ -117,6 +118,8 @@ func (e *Env) Estimates(opt dataset.Options, s24 bool, withCI bool) []WindowEsti
 	if ok {
 		return cached
 	}
+	sp := telemetry.Active().StartSpan("env.estimates")
+	defer sp.End(int64(len(e.Win)))
 	// Windows are independent: collect and estimate them concurrently,
 	// writing each result into its window's slot so the series is
 	// identical to a serial run.
@@ -204,6 +207,8 @@ func (e *Env) StratSeries(k strata.Key, s24 bool) []map[string]float64 {
 	if ok {
 		return cached
 	}
+	sp := telemetry.Active().StartSpan("env.strat_series")
+	defer sp.End(int64(len(e.Win)))
 	out := make([]map[string]float64, len(e.Win))
 	parallel.ForEach(len(e.Win), func(i int) {
 		b := e.Bundle(i, dataset.DefaultOptions())
@@ -251,6 +256,8 @@ func (e *Env) StratSeries(k strata.Key, s24 bool) []map[string]float64 {
 // StratObservedSeries returns per-window observed (not estimated) totals
 // per stratum, for the "Observed" halves of Figures 7–9.
 func (e *Env) StratObservedSeries(k strata.Key, s24 bool) []map[string]float64 {
+	sp := telemetry.Active().StartSpan("env.strat_observed")
+	defer sp.End(int64(len(e.Win)))
 	out := make([]map[string]float64, len(e.Win))
 	parallel.ForEach(len(e.Win), func(i int) {
 		b := e.Bundle(i, dataset.DefaultOptions())

@@ -1,0 +1,12 @@
+// Package inet provides the simulated Internet that the census prober
+// drives: a Responder that answers ICMP-echo and TCP-SYN probes with the
+// behaviour of the real network (§4.4 — echo replies, unreachables,
+// SYN/ACKs, firewall RSTs covering whole blocks, silence, loss), and two
+// transports that carry marshalled packets between prober and responder:
+// an in-memory duplex Link and a UDP-over-loopback pair, so the probe path
+// can be exercised both hermetically and over real sockets.
+//
+// The main entry points are NewPair (in-memory Transport pair), NewUDPPair
+// (loopback sockets), the Responder configuration, and Serve, which pumps
+// packets from a transport through a responder until it closes.
+package inet

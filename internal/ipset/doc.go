@@ -1,0 +1,15 @@
+// Package ipset provides memory-efficient sets over the IPv4 address space.
+//
+// The capture-recapture pipeline manipulates sets with millions of members
+// drawn from the 2^32 address space. Set stores addresses in sparse pages:
+// one 256-bit bitmap per /24 subnet that has at least one member, keyed by
+// the /24 index. A set with k members in n distinct /24s costs O(n) pages
+// of 32 bytes plus map overhead, and all per-/24 operations (the paper's
+// central projection) are O(1).
+//
+// The main entry points are New and the Set operations (Add, AddSet,
+// Intersect, Len, Slash24Len, iteration), CaptureHistogram — which turns t
+// parallel sets into the 2^t−1 capture-history counts the log-linear
+// models consume — and the binary .gset codec (Set.WriteTo/ReadFrom) used
+// by the CLI's -collect/-estimate two-stage pipeline.
+package ipset

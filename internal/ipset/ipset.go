@@ -1,11 +1,3 @@
-// Package ipset provides memory-efficient sets over the IPv4 address space.
-//
-// The capture-recapture pipeline manipulates sets with millions of members
-// drawn from the 2^32 address space. Set stores addresses in sparse pages:
-// one 256-bit bitmap per /24 subnet that has at least one member, keyed by
-// the /24 index. A set with k members in n distinct /24s costs O(n) pages
-// of 32 bytes plus map overhead, and all per-/24 operations (the paper's
-// central projection) are O(1).
 package ipset
 
 import (

@@ -1,0 +1,14 @@
+// Package ipv4 provides compact IPv4 address and prefix types used
+// throughout the capture-recapture pipeline.
+//
+// Addresses are represented as host-order uint32 values (type Addr) so that
+// arithmetic over the address space (traversal, block alignment, subnet
+// keys) is cheap and allocation free. Prefixes pair an address with a mask
+// length and are always stored in canonical form (host bits zero).
+//
+// The main entry points are Addr and Prefix with their parsing and
+// formatting methods, ReverseBits (the §4.1 census traversal order that
+// spreads consecutive probes across distant /24s), and IsReserved /
+// Reserved, the special-purpose blocks excluded from every universe and
+// estimate.
+package ipv4

@@ -1,10 +1,3 @@
-// Package ipv4 provides compact IPv4 address and prefix types used
-// throughout the capture-recapture pipeline.
-//
-// Addresses are represented as host-order uint32 values (type Addr) so that
-// arithmetic over the address space (traversal, block alignment, subnet
-// keys) is cheap and allocation free. Prefixes pair an address with a mask
-// length and are always stored in canonical form (host bits zero).
 package ipv4
 
 import (

@@ -1,12 +1,3 @@
-// Package itu holds the ITU Internet-user series (Figure 11) and the
-// paper's back-of-envelope model (§6.9) translating user growth into a
-// plausible band of IPv4-address growth:
-//
-//	g_I = (1/H + p_E/W) · g_U
-//
-// with household size H, employment ratio p_E and employees per work
-// address W. The paper checks that its CR growth estimate falls inside the
-// band implied by H ∈ [2, 5] and W ∈ [2, 200].
 package itu
 
 // UserPoint is one year of the ITU series.

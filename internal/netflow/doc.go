@@ -1,0 +1,11 @@
+// Package netflow implements the NetFlow v5 export format and a UDP
+// exporter/collector pair. The paper's SWIN and CALT datasets are IPv4
+// addresses extracted from access-router NetFlow records (§4.1); this
+// package provides that substrate: flow records are encoded to the real
+// 24-byte-header/48-byte-record wire layout, shipped over UDP, decoded by
+// the collector, and reduced to the set of observed source addresses.
+//
+// The main entry points are Marshal/Unmarshal (the wire codec over Header
+// and Record), Exporter (batches records into v5 datagrams) and Collector,
+// which listens, decodes, and accumulates observed source addresses.
+package netflow

@@ -1,9 +1,3 @@
-// Package netflow implements the NetFlow v5 export format and a UDP
-// exporter/collector pair. The paper's SWIN and CALT datasets are IPv4
-// addresses extracted from access-router NetFlow records (§4.1); this
-// package provides that substrate: flow records are encoded to the real
-// 24-byte-header/48-byte-record wire layout, shipped over UDP, decoded by
-// the collector, and reduced to the set of observed source addresses.
 package netflow
 
 import (

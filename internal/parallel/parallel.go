@@ -11,6 +11,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ghosts/internal/telemetry"
 )
 
 // workerOverride holds the user-requested worker count; 0 means "use
@@ -45,6 +48,20 @@ func Workers() int {
 func ForEach(n int, f func(i int)) {
 	if n <= 0 {
 		return
+	}
+	// When a telemetry recorder is installed, wrap every task with a
+	// monotonic busy-time measurement and record the fan-out's wall time;
+	// with telemetry disabled this costs a single atomic load.
+	if rec := telemetry.Active(); rec != nil {
+		rec.FanOut(n)
+		inner := f
+		f = func(i int) {
+			t0 := time.Now()
+			inner(i)
+			rec.TaskDone(time.Since(t0))
+		}
+		start := time.Now()
+		defer func() { rec.FanOutDone(time.Since(start)) }()
 	}
 	w := Workers()
 	if w > n {

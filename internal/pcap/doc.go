@@ -1,0 +1,10 @@
+// Package pcap writes and reads classic libpcap capture files
+// (tcpdump-compatible, magic 0xa1b2c3d4), so the census prober's traffic
+// can be captured and inspected with standard tooling. Packets are stored
+// with LINKTYPE_RAW (101): the payload starts directly at the IPv4 header,
+// matching the wire package's packet layout.
+//
+// The main entry points are NewWriter/Writer.WritePacket and
+// NewReader/Reader.Next over the Packet record type; probe.Census plugs a
+// Writer in through its Capture field (§4.4 census debugging).
+package pcap

@@ -1,8 +1,3 @@
-// Package pcap writes and reads classic libpcap capture files
-// (tcpdump-compatible, magic 0xa1b2c3d4), so the census prober's traffic
-// can be captured and inspected with standard tooling. Packets are stored
-// with LINKTYPE_RAW (101): the payload starts directly at the IPv4 header,
-// matching the wire package's packet layout.
 package pcap
 
 import (

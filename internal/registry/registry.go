@@ -1,10 +1,3 @@
-// Package registry models the RIR allocation database the paper stratifies
-// by (§3.4): every allocation carries its RIR, country, prefix size,
-// industry class and allocation date. Real delegation files are not
-// redistributable, so Generate synthesises an allocation table with
-// realistic marginals (RIR shares, country mixes, era-dependent prefix
-// sizes, the 2004–2011 allocation boom and the post-2011 slowdown seen in
-// Figure 10).
 package registry
 
 import (

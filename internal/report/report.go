@@ -1,6 +1,3 @@
-// Package report renders experiment results as aligned ASCII tables,
-// simple text series ("figures"), and CSV, for the CLI and the benchmark
-// harness.
 package report
 
 import (

@@ -1,7 +1,3 @@
-// Package rng provides a deterministic, seedable random number generator
-// and the sampling distributions the simulators need (Bernoulli, binomial,
-// Poisson, Zipf, beta). Every simulation component takes an explicit *RNG
-// so experiment runs are exactly reproducible from a seed.
 package rng
 
 import (

@@ -1,11 +1,3 @@
-// Package sources simulates the paper's nine measurement datasets (§4.1,
-// Table 2): two active censuses (IPING, TPING) and seven passive logs
-// (WIKI, SPAM, MLAB, WEB, GAME, SWIN, CALT). Each source observes the
-// ground-truth universe through its own biased lens — client-heavy server
-// logs, ping-visible servers, NetFlow vantage points polluted with spoofed
-// traffic — producing per-window observation sets whose heterogeneity and
-// apparent dependence is exactly what the log-linear CR models must
-// overcome.
 package sources
 
 import (

@@ -1,0 +1,21 @@
+// Package spoof implements the paper's two-stage heuristic for removing
+// spoofed source addresses from NetFlow-derived datasets (§4.5).
+//
+// Stage 1 removes whole /24 subnets that (a) contain fewer than m observed
+// addresses and (b) share no address with the spoof-free reference sources;
+// m is the smallest k for which P(X > k) < 1e-8 under X ~ Binomial(256, p),
+// with p estimated from the spoofed-address density S observed in
+// allocated-but-empty blocks.
+//
+// Stage 2 removes residual spoofed addresses inside genuinely-used /24s:
+// within each /8, Bayes' rule combines the per-/8 valid-address probability
+// P(V) with the final-byte distribution P(B|V) learned from the spoof-free
+// sources (spoofed bytes are uniform, P(B|¬V) = 1/256), and each address is
+// kept with probability P(V|B).
+//
+// The main entry points are New — a Filter over the spoof-free reference
+// union, the final-byte reference set and the empty blocks — and
+// Filter.Clean, which applies both stages to a NetFlow set and reports
+// what it removed as Stats; EstimateSPer8 and Threshold expose the stage-1
+// calibration on its own.
+package spoof

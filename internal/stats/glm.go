@@ -3,6 +3,8 @@ package stats
 import (
 	"errors"
 	"math"
+
+	"ghosts/internal/telemetry"
 )
 
 // GLMResult holds the fitted Poisson regression.
@@ -213,6 +215,7 @@ func FitPoissonGLMFlat(x Matrix, y []float64, limits []float64, init []float64, 
 		}
 		fitted[i] = math.Exp(e)
 	}
+	telemetry.Active().FitDone(it+1, converged)
 	outCoef := make([]float64, p)
 	copy(outCoef, coef)
 	return &GLMResult{

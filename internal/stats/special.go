@@ -1,13 +1,3 @@
-// Package stats provides the numerical machinery for the log-linear
-// capture-recapture models: log-gamma and incomplete-gamma special
-// functions, Poisson and right-truncated-Poisson distributions, chi-square
-// quantiles, a dense linear solver, and a Poisson GLM fitted by Fisher
-// scoring (with optional right truncation of the response).
-//
-// Everything here uses only the standard library; the implementations
-// follow the classical numerically-stable recipes (Lanczos for log-gamma,
-// series/continued-fraction for the regularized incomplete gamma, Acklam's
-// rational approximation for the normal quantile).
 package stats
 
 import (

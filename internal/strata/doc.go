@@ -1,0 +1,11 @@
+// Package strata splits observation sets into the paper's strata (§3.4):
+// RIR, country, allocation prefix size, industry, allocation age, and
+// static/dynamic assignment. Stratified CR estimation fits each stratum
+// separately and sums (§6.2, Table 5); the per-stratum splits also drive
+// the growth breakdowns of Figures 6–9.
+//
+// The main entry points are the Key enumeration of stratifiers, Split
+// (parallel per-stratum observation sets for a key), Label (one address's
+// stratum), and RoutedSizes, the per-stratum routed-space sizes that bound
+// each stratum's truncated fit.
+package strata

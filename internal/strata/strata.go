@@ -1,8 +1,3 @@
-// Package strata splits observation sets into the paper's strata (§3.4):
-// RIR, country, allocation prefix size, industry, allocation age, and
-// static/dynamic assignment. Stratified CR estimation fits each stratum
-// separately and sums (§6.2, Table 5); the per-stratum splits also drive
-// the growth breakdowns of Figures 6–9.
 package strata
 
 import (

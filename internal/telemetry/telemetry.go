@@ -1,0 +1,345 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// active is the process-wide recorder consulted by the instrumented hot
+// paths. A nil pointer means telemetry is disabled; the instrumentation
+// then costs one atomic load per emission point.
+var active atomic.Pointer[Recorder]
+
+// Enable installs r as the process-wide recorder. Passing nil disables
+// telemetry (same as Disable).
+func Enable(r *Recorder) { active.Store(r) }
+
+// Disable removes the process-wide recorder; subsequent emissions are
+// no-ops.
+func Disable() { active.Store(nil) }
+
+// Active returns the installed recorder, or nil when telemetry is
+// disabled. All Recorder methods are nil-safe, so callers may chain
+// without checking: telemetry.Active().FitDone(it, ok).
+func Active() *Recorder { return active.Load() }
+
+// Counter is an atomic monotonic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Timer accumulates monotonic durations: total nanoseconds and the number
+// of measured intervals.
+type Timer struct{ nanos, count atomic.Int64 }
+
+// Add records one measured interval.
+func (t *Timer) Add(d time.Duration) {
+	t.nanos.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.nanos.Load()) }
+
+// Count returns the number of recorded intervals.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// covers values v with bits.Len64(v) == i, i.e. upper bound 2^i − 1; the
+// last bucket also absorbs everything larger. 24 buckets cover 0..2^24−1,
+// far beyond any Fisher-iteration or IC-delta magnitude seen in practice.
+const histBuckets = 24
+
+// Histogram counts observations in power-of-two buckets and tracks count,
+// sum and max. The zero value is ready for use; all methods are safe for
+// concurrent use.
+type Histogram struct {
+	count, sum, max atomic.Int64
+	buckets         [histBuckets]atomic.Int64
+}
+
+// Observe records a value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Bucket is one non-empty histogram bucket: N observations with value
+// ≤ Le (and greater than the previous bucket's bound).
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, in the shape
+// the JSON run report uses.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state, keeping only non-empty
+// buckets (in ascending bound order, so the output is deterministic).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Mean:  h.Mean(),
+		Max:   h.max.Load(),
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: 1<<uint(i) - 1, N: n})
+		}
+	}
+	return s
+}
+
+// Phase aggregates one named pipeline phase: accumulated wall time across
+// calls and a caller-defined item count (windows estimated, replicates
+// drawn, sources held out, ...).
+type Phase struct {
+	Time  Timer
+	Items Counter
+}
+
+// Recorder is one run's worth of metrics. The zero value is ready; all
+// fields and methods are safe for concurrent use, and every method is a
+// no-op on a nil receiver so disabled telemetry costs nothing beyond the
+// Active() pointer load.
+//
+// OBSERVABILITY.md documents each metric's name, unit and emission point.
+type Recorder struct {
+	// GLM kernel (stats.FitPoissonGLMFlat).
+	Fits            Counter   // completed Fisher-scoring fits
+	FitIters        Histogram // iterations per fit
+	FitNonConverged Counter   // fits that hit the iteration cap or stalled
+
+	// Fit scratch pool (core fit path).
+	PoolGets   Counter // scratch checkouts
+	PoolMisses Counter // checkouts that had to allocate
+
+	// Stepwise model selection (core.SelectModel).
+	Selections    Counter   // completed selection searches
+	SelectRounds  Counter   // forward-stepwise rounds across searches
+	CandidateFits Counter   // candidate terms fitted across rounds
+	TermsAccepted Counter   // rounds that accepted a term
+	ICImprovement Histogram // IC drop per accepted term, rounded to integer IC units
+
+	// Parametric bootstrap (core.BootstrapInterval).
+	BootstrapReplicates Counter // replicates drawn
+	BootstrapFailures   Counter // replicates discarded (empty resample or failed refit)
+
+	// Worker pool (parallel.ForEach).
+	FanOuts Counter // ForEach invocations
+	Tasks   Counter // iterations executed across fan-outs
+	Busy    Timer   // summed task execution time across workers
+	Wall    Timer   // summed fan-out wall time (one interval per ForEach)
+
+	mu     sync.Mutex
+	phases map[string]*Phase
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// FitDone records one completed GLM fit.
+func (r *Recorder) FitDone(iterations int, converged bool) {
+	if r == nil {
+		return
+	}
+	r.Fits.Inc()
+	r.FitIters.Observe(int64(iterations))
+	if !converged {
+		r.FitNonConverged.Inc()
+	}
+}
+
+// PoolGet records one fit-scratch checkout.
+func (r *Recorder) PoolGet() {
+	if r == nil {
+		return
+	}
+	r.PoolGets.Inc()
+}
+
+// PoolMiss records a checkout that allocated a fresh scratch (a sync.Pool
+// miss). Hits are PoolGets − PoolMisses.
+func (r *Recorder) PoolMiss() {
+	if r == nil {
+		return
+	}
+	r.PoolMisses.Inc()
+}
+
+// SelectRound records one forward-stepwise round that fitted candidates
+// candidate terms.
+func (r *Recorder) SelectRound(candidates int) {
+	if r == nil {
+		return
+	}
+	r.SelectRounds.Inc()
+	r.CandidateFits.Add(int64(candidates))
+}
+
+// TermAccepted records an accepted interaction term and the IC improvement
+// it brought (icDrop ≥ 0, in IC units; the histogram stores it rounded).
+func (r *Recorder) TermAccepted(icDrop float64) {
+	if r == nil {
+		return
+	}
+	r.TermsAccepted.Inc()
+	r.ICImprovement.Observe(int64(icDrop + 0.5))
+}
+
+// SelectionDone records one completed model-selection search.
+func (r *Recorder) SelectionDone() {
+	if r == nil {
+		return
+	}
+	r.Selections.Inc()
+}
+
+// BootstrapDone records one bootstrap run of total replicates, failed of
+// which were discarded.
+func (r *Recorder) BootstrapDone(total, failed int) {
+	if r == nil {
+		return
+	}
+	r.BootstrapReplicates.Add(int64(total))
+	r.BootstrapFailures.Add(int64(failed))
+}
+
+// FanOut records a ForEach dispatching tasks iterations.
+func (r *Recorder) FanOut(tasks int) {
+	if r == nil {
+		return
+	}
+	r.FanOuts.Inc()
+	r.Tasks.Add(int64(tasks))
+}
+
+// TaskDone records one task's execution time.
+func (r *Recorder) TaskDone(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Busy.Add(d)
+}
+
+// FanOutDone records one ForEach's wall time.
+func (r *Recorder) FanOutDone(wall time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Wall.Add(wall)
+}
+
+// phase returns the named phase, creating it on first use.
+func (r *Recorder) phase(name string) *Phase {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.phases == nil {
+		r.phases = make(map[string]*Phase)
+	}
+	p, ok := r.phases[name]
+	if !ok {
+		p = &Phase{}
+		r.phases[name] = p
+	}
+	return p
+}
+
+// AddPhase folds a finished interval into the named phase directly —
+// Span.End uses it, and tests and out-of-process mergers can inject
+// deterministic durations through it.
+func (r *Recorder) AddPhase(name string, d time.Duration, items int64) {
+	if r == nil {
+		return
+	}
+	p := r.phase(name)
+	p.Time.Add(d)
+	p.Items.Add(items)
+}
+
+// phaseNames returns the recorded phase names in sorted order.
+func (r *Recorder) phaseNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.phases))
+	for n := range r.phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Span is an in-flight phase measurement. The zero Span (from a nil
+// recorder) is inert.
+type Span struct {
+	r    *Recorder
+	name string
+	t0   time.Time
+}
+
+// StartSpan begins timing the named phase. End the span exactly once.
+func (r *Recorder) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, t0: time.Now()}
+}
+
+// End stops the span and folds its wall time plus the processed item count
+// into the phase.
+func (s Span) End(items int64) {
+	if s.r == nil {
+		return
+	}
+	s.r.AddPhase(s.name, time.Since(s.t0), items)
+}

@@ -1,0 +1,14 @@
+// Package unused implements the paper's unused-space prediction model
+// (§7): the decomposition of the free (not-observed-used) space into
+// maximal aligned blocks, the triangular accounting matrix A that relates
+// new addresses to changes in the vacant-block vector, the estimation of
+// the proportional-fill ratios f_i from successive dataset merges, the
+// sequential distribution of the CR-estimated ghosts over vacant blocks,
+// and the years-of-supply projection of Table 6.
+//
+// The main entry points follow the §7 pipeline in order: FreeVector (the
+// x_i vacant-block Vector of a used set), SolveA (n = A⁻¹·d via the
+// closed-form inverse), EstimateRatios / AverageRatios (the f_i Ratios
+// from dataset merges), DistributeGhosts (sequential fill per eq. 4), and
+// RunoutYear, the Table 6 years-of-supply projection.
+package unused

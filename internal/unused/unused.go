@@ -1,10 +1,3 @@
-// Package unused implements the paper's unused-space prediction model
-// (§7): the decomposition of the free (not-observed-used) space into
-// maximal aligned blocks, the triangular accounting matrix A that relates
-// new addresses to changes in the vacant-block vector, the estimation of
-// the proportional-fill ratios f_i from successive dataset merges, the
-// sequential distribution of the CR-estimated ghosts over vacant blocks,
-// and the years-of-supply projection of Table 6.
 package unused
 
 import (

@@ -1,0 +1,9 @@
+// Package windows models the paper's observation windows (§4.3):
+// overlapping 12-month windows whose starts step by three months, from
+// 1 Jan 2011 to the last window ending 30 June 2014. Statistics are
+// associated with the end of each window.
+//
+// The main entry points are Paper (the paper's window series between
+// CollectionStart and CollectionEnd), Series for arbitrary
+// length/step/count layouts, and the Window type itself (Contains, Label).
+package windows

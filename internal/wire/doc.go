@@ -1,0 +1,11 @@
+// Package wire implements the IPv4, ICMP and TCP wire formats the census
+// prober uses (§4.1: ICMP echo requests and TCP SYN packets to port 80),
+// including the Internet checksum. Packets are encoded to and decoded from
+// real byte layouts so the probe path exercises genuine protocol code even
+// though delivery is simulated.
+//
+// The main entry points are Packet with its IPv4Header and ICMPMessage /
+// TCPSegment payloads (marshal and parse), Checksum (RFC 1071), and
+// QuotedDst, which recovers the original destination from the quoted
+// header inside ICMP error payloads (the §4.4 unreachable classification).
+package wire

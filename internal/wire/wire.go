@@ -1,8 +1,3 @@
-// Package wire implements the IPv4, ICMP and TCP wire formats the census
-// prober uses (§4.1: ICMP echo requests and TCP SYN packets to port 80),
-// including the Internet checksum. Packets are encoded to and decoded from
-// real byte layouts so the probe path exercises genuine protocol code even
-// though delivery is simulated.
 package wire
 
 import (

@@ -5,6 +5,12 @@
 # Usage: scripts/bench.sh [bench-regex] [benchtime]
 #   scripts/bench.sh                          # full suite, 1 iteration each
 #   scripts/bench.sh 'CrossValidation' 5x     # one benchmark, 5 iterations
+#
+# Alongside the benchmark numbers, a telemetry run report of the summary
+# experiment (BENCH_<date>.telemetry.json — fit counts, iteration
+# histograms, pool hit rate, per-phase wall time; see OBSERVABILITY.md)
+# is snapshotted so effort metrics are tracked PR over PR, not just
+# ns/op. Set GHOSTS_BENCH_NO_TELEMETRY=1 to skip it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,3 +41,8 @@ END { print "\n]" }
 ' "$TXT" > "$OUT"
 
 echo "wrote $OUT"
+
+if [ -z "${GHOSTS_BENCH_NO_TELEMETRY:-}" ]; then
+    TELEMETRY="BENCH_$(date +%Y-%m-%d).telemetry.json"
+    go run ./cmd/ghosts -exp summary -scale tiny -metrics "$TELEMETRY" > /dev/null
+fi

@@ -11,6 +11,16 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
+echo "== docs lint =="
+# Every package must carry a package comment (the doc.go convention —
+# see OBSERVABILITY.md and the per-package doc.go files).
+UNDOC="$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./... | grep -v '^$' || true)"
+if [ -n "$UNDOC" ]; then
+    echo "packages missing a package comment:" >&2
+    echo "$UNDOC" >&2
+    exit 1
+fi
+
 echo "== go test -race =="
 go test -race ./...
 
