@@ -7,16 +7,21 @@
 //	ghosts -exp table5 -scale tiny       # one experiment, fast
 //	ghosts -exp fig4,fig5 -seed 7        # comma-separated experiment ids
 //	ghosts -exp all -parallel 4          # cap the estimation engine at 4 workers
+//	ghosts -exp summary -json            # machine-readable ghosts.api/v1 envelopes
 //	ghosts -exp summary -metrics r.json  # write the telemetry run report
 //	ghosts -exp all -progress            # periodic progress lines on stderr
 //	ghosts -list                         # list experiment ids
 //	ghosts -h                            # full flag and experiment reference
 //
-// Experiment ids: table2 table3 table4 table5 table6 fig2 fig3 fig4 fig5
-// fig6 fig7 fig8 fig9 fig10 fig11 fig12 churn pools estimators ports summary
+// Experiment ids: churn estimators fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+// fig10 fig11 fig12 pools ports summary table2 table3 table4 table5 table6
 //
-// OBSERVABILITY.md documents the telemetry flags (-metrics, -progress,
-// -debug-addr) and every metric in the run report.
+// The catalogue lives in internal/experiments and is shared with the
+// ghostsd HTTP daemon, whose job API runs the same ids (see SERVING.md).
+// With -json, output switches to the versioned JSON envelope
+// (ghosts.api/v1) the daemon serves, so batch and served results are
+// interchangeable. OBSERVABILITY.md documents the telemetry flags
+// (-metrics, -progress, -debug-addr) and every metric in the run report.
 package main
 
 import (
@@ -24,7 +29,6 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the -debug-addr server
 	"os"
@@ -33,48 +37,11 @@ import (
 	"strings"
 	"time"
 
-	"ghosts/internal/dataset"
 	"ghosts/internal/experiments"
 	"ghosts/internal/parallel"
-	"ghosts/internal/report"
+	"ghosts/internal/serve"
 	"ghosts/internal/telemetry"
-	"ghosts/internal/universe"
 )
-
-// renderable is any experiment result that can print itself.
-type renderable interface{ Render(w io.Writer) }
-
-type experiment struct {
-	id    string
-	title string
-	run   func(*experiments.Env) renderable
-}
-
-func catalogue() []experiment {
-	return []experiment{
-		{"table2", "per-source unique IPs and /24s per year", func(e *experiments.Env) renderable { return experiments.Table2(e) }},
-		{"table3", "cross-validation of model-selection settings", func(e *experiments.Env) renderable { return experiments.Table3(e, 2) }},
-		{"table4", "ground-truth comparison for six networks", func(e *experiments.Env) renderable { return experiments.Table4(e) }},
-		{"table5", "end-of-study totals by stratification", func(e *experiments.Env) renderable { return experiments.Table5(e) }},
-		{"table6", "years of supply by RIR", func(e *experiments.Env) renderable { return experiments.Table6(e) }},
-		{"fig2", "/24 estimates with and without spoof filtering", func(e *experiments.Env) renderable { return experiments.Figure2(e) }},
-		{"fig3", "per-source cross-validation panels", func(e *experiments.Env) renderable { return experiments.Figure3(e) }},
-		{"fig4", "/24 subnet growth", func(e *experiments.Env) renderable { return experiments.Figure4(e) }},
-		{"fig5", "IPv4 address growth", func(e *experiments.Env) renderable { return experiments.Figure5(e) }},
-		{"fig6", "estimated addresses by RIR", func(e *experiments.Env) renderable { return experiments.Figure6(e) }},
-		{"fig7", "growth by allocation prefix size", func(e *experiments.Env) renderable { return experiments.Figure7(e) }},
-		{"fig8", "growth by allocation age", func(e *experiments.Env) renderable { return experiments.Figure8(e) }},
-		{"fig9", "growth by country", func(e *experiments.Env) renderable { return experiments.Figure9(e, 20) }},
-		{"fig10", "long-term allocated/routed/used view", func(e *experiments.Env) renderable { return experiments.Figure10(e) }},
-		{"fig11", "ITU user growth consistency check", func(e *experiments.Env) renderable { return experiments.Figure11(e) }},
-		{"fig12", "unused-space prediction", func(e *experiments.Env) renderable { return experiments.Figure12(e) }},
-		{"churn", "§4.6 dynamic-address churn (GAME sessions)", func(e *experiments.Env) renderable { return experiments.Churn(e) }},
-		{"pools", "§4.6 ablation: DHCP allocation policies", func(e *experiments.Env) renderable { return experiments.Pools(e) }},
-		{"estimators", "estimator family vs ground truth", func(e *experiments.Env) renderable { return experiments.Estimators(e) }},
-		{"ports", "TCP port survey (footnote 2)", func(e *experiments.Env) renderable { return experiments.PortSurvey(e, 200000) }},
-		{"summary", "headline numbers (abstract and §6.2)", func(e *experiments.Env) renderable { return summarize(e) }},
-	}
-}
 
 // usage prints the full flag reference plus one line per experiment id, so
 // `-h` is a complete index of what the binary can run (the titles mirror
@@ -91,11 +58,12 @@ Flags:
 `)
 	flag.PrintDefaults()
 	fmt.Fprintf(w, "\nExperiments (-exp id[,id...], or -exp all):\n")
-	for _, ex := range catalogue() {
-		fmt.Fprintf(w, "  %-10s %s\n", ex.id, ex.title)
+	for _, ex := range experiments.Catalogue() {
+		fmt.Fprintf(w, "  %-10s %s\n", ex.ID, ex.Title)
 	}
 	fmt.Fprintf(w, `
 EXPERIMENTS.md records how each experiment compares with the paper;
+SERVING.md documents the ghostsd daemon that serves the same catalogue;
 OBSERVABILITY.md documents the telemetry flags (-metrics, -progress,
 -debug-addr) and every metric in the run report.
 `)
@@ -107,6 +75,7 @@ func main() {
 		scaleFlag    = flag.String("scale", "small", "universe scale: tiny, small, medium")
 		seedFlag     = flag.Uint64("seed", 42, "simulation seed")
 		listFlag     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonFlag     = flag.Bool("json", false, "emit ghosts.api/v1 JSON envelopes instead of text reports")
 		outFlag      = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
 		collectFlag  = flag.String("collect", "", "simulate the final window and write per-source .gset files to this directory, then exit")
 		estFlag      = flag.String("estimate", "", "load .gset files from this directory, estimate, and exit")
@@ -143,11 +112,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "writing metrics report: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote telemetry run report to %s\n", *metricsFlag)
+		fmt.Fprintf(os.Stderr, "wrote telemetry run report to %s\n", *metricsFlag)
 	}
 
 	if *estFlag != "" {
-		if err := estimate(*estFlag); err != nil {
+		if err := estimate(*estFlag, *jsonFlag); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -155,23 +124,16 @@ func main() {
 		return
 	}
 
-	cat := catalogue()
+	cat := experiments.Catalogue()
 	if *listFlag {
 		for _, ex := range cat {
-			fmt.Printf("%-8s %s\n", ex.id, ex.title)
+			fmt.Printf("%-10s %s\n", ex.ID, ex.Title)
 		}
 		return
 	}
 
-	var cfg universe.Config
-	switch *scaleFlag {
-	case "tiny":
-		cfg = universe.TinyConfig(*seedFlag)
-	case "small":
-		cfg = universe.SmallConfig(*seedFlag)
-	case "medium":
-		cfg = universe.MediumConfig(*seedFlag)
-	default:
+	cfg, ok := experiments.EnvConfig(*scaleFlag, *seedFlag)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (tiny, small, medium)\n", *scaleFlag)
 		os.Exit(2)
 	}
@@ -179,20 +141,16 @@ func main() {
 	want := map[string]bool{}
 	if *expFlag == "all" {
 		for _, ex := range cat {
-			want[ex.id] = true
+			want[ex.ID] = true
 		}
 	} else {
 		for _, id := range strings.Split(*expFlag, ",") {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	known := map[string]bool{}
-	for _, ex := range cat {
-		known[ex.id] = true
-	}
 	var unknown []string
 	for id := range want {
-		if !known[id] {
+		if _, ok := experiments.Lookup(id); !ok {
 			unknown = append(unknown, id)
 		}
 	}
@@ -202,7 +160,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("# capturing ghosts — scale=%s seed=%d\n", *scaleFlag, *seedFlag)
+	if !*jsonFlag {
+		fmt.Printf("# capturing ghosts — scale=%s seed=%d\n", *scaleFlag, *seedFlag)
+	}
 	env := experiments.New(cfg, *seedFlag)
 	if *collectFlag != "" {
 		if err := collect(env, *collectFlag); err != nil {
@@ -214,28 +174,66 @@ func main() {
 		writeMetrics()
 		return
 	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
 	for _, ex := range cat {
-		if !want[ex.id] {
+		if !want[ex.ID] {
 			continue
 		}
 		t0 := time.Now()
-		fmt.Printf("\n== %s: %s ==\n", ex.id, ex.title)
 		// The span covers both building and rendering: several experiments
 		// (e.g. summary) compute lazily inside Render.
-		sp := rec.StartSpan("exp." + ex.id)
-		result := ex.run(env)
-		result.Render(os.Stdout)
+		sp := rec.StartSpan("exp." + ex.ID)
+		result := ex.Run(env)
+		if *jsonFlag {
+			if err := enc.Encode(experimentEnvelope(ex, *scaleFlag, *seedFlag, result)); err != nil {
+				fmt.Fprintf(os.Stderr, "encoding %s: %v\n", ex.ID, err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("\n== %s: %s ==\n", ex.ID, ex.Title)
+			result.Render(os.Stdout)
+		}
 		sp.End(1)
 		if *outFlag != "" {
-			if err := writeOutput(*outFlag, ex.id, result); err != nil {
-				fmt.Fprintf(os.Stderr, "writing %s: %v\n", ex.id, err)
+			if err := writeOutput(*outFlag, ex.ID, result); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", ex.ID, err)
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("(%s in %v)\n", ex.id, time.Since(t0).Round(time.Millisecond))
+		if !*jsonFlag {
+			fmt.Printf("(%s in %v)\n", ex.ID, time.Since(t0).Round(time.Millisecond))
+		}
 	}
-	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+	if !*jsonFlag {
+		fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+	}
 	writeMetrics()
+}
+
+// experimentRun is the -json envelope for one experiment: the same
+// api/kind/id vocabulary the ghostsd job API uses, with the experiment's
+// typed data inline.
+type experimentRun struct {
+	API   string `json:"api"`
+	Kind  string `json:"kind"` // always "experiment"
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Scale string `json:"scale"`
+	Seed  uint64 `json:"seed"`
+	Data  any    `json:"data"`
+}
+
+func experimentEnvelope(ex experiments.Experiment, scale string, seed uint64, result experiments.Renderable) experimentRun {
+	return experimentRun{
+		API:   serve.APIVersion,
+		Kind:  "experiment",
+		ID:    ex.ID,
+		Title: ex.Title,
+		Scale: scale,
+		Seed:  seed,
+		Data:  result,
+	}
 }
 
 // serveDebug exposes the standard debug endpoints on addr: /debug/vars
@@ -256,7 +254,7 @@ func serveDebug(addr string, rec *telemetry.Recorder, start time.Time) {
 
 // writeOutput renders one experiment into <dir>/<id>.txt and its typed
 // data into <dir>/<id>.json (for plotting).
-func writeOutput(dir, id string, r renderable) error {
+func writeOutput(dir, id string, r experiments.Renderable) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -279,39 +277,4 @@ func writeOutput(dir, id string, r renderable) error {
 		return err
 	}
 	return j.Close()
-}
-
-// summary prints the headline analogues of the abstract: pinged, observed
-// and estimated used addresses and /24 subnets, with routed-space shares.
-type summary struct {
-	env *experiments.Env
-}
-
-func summarize(e *experiments.Env) renderable { return &summary{env: e} }
-
-func (s *summary) Render(w io.Writer) {
-	e := s.env
-	es := e.Estimates(dataset.DefaultOptions(), false, false)
-	es24 := e.Estimates(dataset.DefaultOptions(), true, false)
-	last := len(es) - 1
-	we, we24 := es[last], es24[last]
-	t := report.Table{
-		Title:   fmt.Sprintf("Headline estimates at %s (cf. abstract / §6.2)", we.Window.Label()),
-		Headers: []string{"Metric", "Ping", "Observed", "Estimated", "Routed", "Obs/Routed", "Est/Routed"},
-	}
-	t.AddRow("IPv4 addresses",
-		report.FormatFloat(we.Ping), report.FormatFloat(we.Observed),
-		report.FormatFloat(we.Est), report.FormatFloat(we.Routed),
-		report.Percent(we.Observed/we.Routed), report.Percent(we.Est/we.Routed))
-	t.AddRow("/24 subnets",
-		report.FormatFloat(we24.Ping), report.FormatFloat(we24.Observed),
-		report.FormatFloat(we24.Est), report.FormatFloat(we24.Routed),
-		report.Percent(we24.Observed/we24.Routed), report.Percent(we24.Est/we24.Routed))
-	t.Render(w)
-	growth := experiments.LinearGrowth(es, func(x experiments.WindowEstimate) float64 { return x.Est })
-	growth24 := experiments.LinearGrowth(es24, func(x experiments.WindowEstimate) float64 { return x.Est })
-	fmt.Fprintf(w, "Estimated growth: %s addresses/year, %s /24s/year\n",
-		report.FormatFloat(growth), report.FormatFloat(growth24))
-	fmt.Fprintf(w, "Estimate/ping quotient: %.2f (paper: 2.6-2.7, Heidemann factor was 1.86)\n",
-		we.Est/we.Ping)
 }

@@ -13,6 +13,7 @@ import (
 	"ghosts/internal/experiments"
 	"ghosts/internal/ipset"
 	"ghosts/internal/report"
+	"ghosts/internal/serve"
 )
 
 // The two-stage pipeline: `-collect <dir>` simulates the final window's
@@ -55,7 +56,10 @@ func collect(env *experiments.Env, dir string) error {
 }
 
 // estimate loads every .gset in dir and runs the paper-default estimator.
-func estimate(dir string) error {
+// With jsonOut, the result is emitted as the ghosts.api/v1 estimate
+// envelope through the same serve.Compute/Encode path the ghostsd daemon
+// uses, so CLI and server responses are byte-identical for the same data.
+func estimate(dir string, jsonOut bool) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -95,6 +99,21 @@ func estimate(dir string) error {
 	}
 
 	tb := core.TableFromSets(sets, labels)
+	if jsonOut {
+		req := &serve.EstimateRequest{Sources: labels, Counts: tb.Counts}
+		if !math.IsInf(limit, 1) {
+			req.Limit = limit
+		}
+		if err := req.Normalize(); err != nil {
+			return err
+		}
+		resp, err := serve.Compute(req)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(resp.Encode())
+		return err
+	}
 	t := report.Table{Title: "Loaded observation sets", Headers: []string{"Source", "Addresses", "/24s"}}
 	for i, l := range labels {
 		t.AddRow(l, report.Group(int64(sets[i].Len())), report.Group(int64(sets[i].Slash24Len())))

@@ -1,0 +1,94 @@
+// Command ghostsd is the long-running estimation service: the ghosts
+// capture-recapture engine behind an HTTP API, with a result cache,
+// single-flight deduplication of identical requests, bounded admission in
+// front of the GLM/bootstrap hot paths, and an async job API over the
+// experiment catalogue.
+//
+// Usage:
+//
+//	ghostsd                                  # serve on :8080
+//	ghostsd -addr localhost:9090             # explicit address
+//	ghostsd -slots 2 -queue 128              # widen admission bounds
+//	ghostsd -cache-size 1024 -cache-ttl 1h   # result-cache tuning
+//	ghostsd -metrics run.json                # telemetry report on shutdown
+//
+// Endpoints (SERVING.md documents schemas and semantics):
+//
+//	POST /v1/estimate     capture-history estimate with profile interval
+//	GET  /v1/experiments  the experiment catalogue
+//	POST /v1/jobs         launch an experiment asynchronously
+//	GET  /v1/jobs/{id}    job status and result
+//	GET  /healthz         liveness
+//	GET  /readyz          readiness (503 while draining)
+//	GET  /debug/vars      expvar, including the live telemetry report
+//	GET  /debug/pprof/    profiling
+//
+// SIGINT/SIGTERM begin a graceful shutdown: readiness flips, in-flight
+// requests drain, pending jobs are cancelled and running jobs complete.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ghosts/internal/parallel"
+	"ghosts/internal/serve"
+	"ghosts/internal/server"
+	"ghosts/internal/telemetry"
+)
+
+func main() {
+	var (
+		addrFlag     = flag.String("addr", ":8080", "listen address")
+		parallelFlag = flag.Int("parallel", 0, "worker goroutines per computation (0 = GOMAXPROCS, 1 = serial)")
+		slotsFlag    = flag.Int("slots", 1, "concurrent computations admitted (each fans out across -parallel workers)")
+		queueFlag    = flag.Int("queue", 64, "admission-queue depth before requests are shed with 503")
+		cacheFlag    = flag.Int("cache-size", 256, "result-cache entries (negative disables caching)")
+		ttlFlag      = flag.Duration("cache-ttl", 15*time.Minute, "result-cache entry lifetime (negative disables expiry)")
+		jobsFlag     = flag.Int("max-jobs", 64, "job-store capacity (oldest finished jobs are evicted)")
+		drainFlag    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+		metricsFlag  = flag.String("metrics", "", "write a JSON telemetry run report here on shutdown (see OBSERVABILITY.md)")
+	)
+	flag.Parse()
+	parallel.SetWorkers(*parallelFlag)
+
+	// The daemon always records telemetry: the live report feeds
+	// /debug/vars and the per-route histograms in the shutdown report.
+	start := time.Now()
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+
+	front := serve.NewFront(serve.FrontConfig{
+		CacheSize: *cacheFlag,
+		CacheTTL:  *ttlFlag,
+		Slots:     *slotsFlag,
+		MaxQueue:  *queueFlag,
+	})
+	srv := server.New(server.Config{
+		Front:        front,
+		MaxJobs:      *jobsFlag,
+		DrainTimeout: *drainFlag,
+		Recorder:     rec,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := srv.Run(ctx, *addrFlag)
+	if *metricsFlag != "" {
+		rep := rec.Report(start, time.Now(), parallel.Workers())
+		if werr := rep.WriteFile(*metricsFlag); werr != nil {
+			fmt.Fprintf(os.Stderr, "ghostsd: writing metrics report: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ghostsd: wrote telemetry run report to %s\n", *metricsFlag)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghostsd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ghosts/internal/dataset"
+	"ghosts/internal/report"
+	"ghosts/internal/universe"
+)
+
+// Renderable is any experiment result that can print itself as a
+// paper-style text report. Every catalogue entry returns one; the typed
+// data behind it is additionally JSON-marshalable (the CLI's -outdir and
+// -json modes and the server's job API rely on that).
+type Renderable interface{ Render(w io.Writer) }
+
+// Experiment is one catalogue entry: a stable id (the -exp / job-API
+// handle), a human title, and the builder that runs it against an Env.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Env) Renderable
+}
+
+// Catalogue returns every experiment the reproduction knows, sorted by id.
+// Both the ghosts CLI (-exp, -list) and the ghostsd job API serve from this
+// one registry, so an experiment added here is immediately reachable from
+// batch and serving paths alike.
+func Catalogue() []Experiment {
+	cat := []Experiment{
+		{"table2", "per-source unique IPs and /24s per year", func(e *Env) Renderable { return Table2(e) }},
+		{"table3", "cross-validation of model-selection settings", func(e *Env) Renderable { return Table3(e, 2) }},
+		{"table4", "ground-truth comparison for six networks", func(e *Env) Renderable { return Table4(e) }},
+		{"table5", "end-of-study totals by stratification", func(e *Env) Renderable { return Table5(e) }},
+		{"table6", "years of supply by RIR", func(e *Env) Renderable { return Table6(e) }},
+		{"fig2", "/24 estimates with and without spoof filtering", func(e *Env) Renderable { return Figure2(e) }},
+		{"fig3", "per-source cross-validation panels", func(e *Env) Renderable { return Figure3(e) }},
+		{"fig4", "/24 subnet growth", func(e *Env) Renderable { return Figure4(e) }},
+		{"fig5", "IPv4 address growth", func(e *Env) Renderable { return Figure5(e) }},
+		{"fig6", "estimated addresses by RIR", func(e *Env) Renderable { return Figure6(e) }},
+		{"fig7", "growth by allocation prefix size", func(e *Env) Renderable { return Figure7(e) }},
+		{"fig8", "growth by allocation age", func(e *Env) Renderable { return Figure8(e) }},
+		{"fig9", "growth by country", func(e *Env) Renderable { return Figure9(e, 20) }},
+		{"fig10", "long-term allocated/routed/used view", func(e *Env) Renderable { return Figure10(e) }},
+		{"fig11", "ITU user growth consistency check", func(e *Env) Renderable { return Figure11(e) }},
+		{"fig12", "unused-space prediction", func(e *Env) Renderable { return Figure12(e) }},
+		{"churn", "§4.6 dynamic-address churn (GAME sessions)", func(e *Env) Renderable { return Churn(e) }},
+		{"pools", "§4.6 ablation: DHCP allocation policies", func(e *Env) Renderable { return Pools(e) }},
+		{"estimators", "estimator family vs ground truth", func(e *Env) Renderable { return Estimators(e) }},
+		{"ports", "TCP port survey (footnote 2)", func(e *Env) Renderable { return PortSurvey(e, 200000) }},
+		{"summary", "headline numbers (abstract and §6.2)", func(e *Env) Renderable { return Summary(e) }},
+	}
+	sort.Slice(cat, func(i, j int) bool { return cat[i].ID < cat[j].ID })
+	return cat
+}
+
+// Lookup returns the catalogue entry with the given id.
+func Lookup(id string) (Experiment, bool) {
+	for _, ex := range Catalogue() {
+		if ex.ID == id {
+			return ex, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// EnvConfig builds the universe configuration for a named scale, the same
+// vocabulary the ghosts CLI's -scale flag and the job API's "scale" field
+// accept. Unknown scales return false.
+func EnvConfig(scale string, seed uint64) (universe.Config, bool) {
+	switch scale {
+	case "tiny":
+		return universe.TinyConfig(seed), true
+	case "small":
+		return universe.SmallConfig(seed), true
+	case "medium":
+		return universe.MediumConfig(seed), true
+	}
+	return universe.Config{}, false
+}
+
+// Scales lists the accepted -scale / job-API scale names.
+func Scales() []string { return []string{"tiny", "small", "medium"} }
+
+// summary prints the headline analogues of the abstract: pinged, observed
+// and estimated used addresses and /24 subnets, with routed-space shares.
+type summary struct {
+	Env *Env `json:"-"`
+	// Computed lazily inside Render; exported so the JSON forms (CLI
+	// -outdir/-json, job API) carry the same numbers the text report shows.
+	Addresses WindowEstimate `json:"addresses"`
+	Subnets24 WindowEstimate `json:"subnets_24"`
+	Growth    float64        `json:"growth_addrs_per_year"`
+	Growth24  float64        `json:"growth_24s_per_year"`
+	Quotient  float64        `json:"estimate_ping_quotient"`
+	built     bool
+}
+
+// Summary builds the headline-numbers experiment (abstract / §6.2).
+func Summary(e *Env) Renderable { return &summary{Env: e} }
+
+func (s *summary) build() {
+	if s.built {
+		return
+	}
+	e := s.Env
+	es := e.Estimates(dataset.DefaultOptions(), false, false)
+	es24 := e.Estimates(dataset.DefaultOptions(), true, false)
+	last := len(es) - 1
+	s.Addresses, s.Subnets24 = es[last], es24[last]
+	s.Growth = LinearGrowth(es, func(x WindowEstimate) float64 { return x.Est })
+	s.Growth24 = LinearGrowth(es24, func(x WindowEstimate) float64 { return x.Est })
+	s.Quotient = s.Addresses.Est / s.Addresses.Ping
+	s.built = true
+}
+
+// MarshalJSON ensures the lazy fields are computed before encoding.
+func (s *summary) MarshalJSON() ([]byte, error) {
+	s.build()
+	type plain summary // drop the method set to avoid recursion
+	return json.Marshal((*plain)(s))
+}
+
+func (s *summary) Render(w io.Writer) {
+	s.build()
+	we, we24 := s.Addresses, s.Subnets24
+	t := report.Table{
+		Title:   fmt.Sprintf("Headline estimates at %s (cf. abstract / §6.2)", we.Window.Label()),
+		Headers: []string{"Metric", "Ping", "Observed", "Estimated", "Routed", "Obs/Routed", "Est/Routed"},
+	}
+	t.AddRow("IPv4 addresses",
+		report.FormatFloat(we.Ping), report.FormatFloat(we.Observed),
+		report.FormatFloat(we.Est), report.FormatFloat(we.Routed),
+		report.Percent(we.Observed/we.Routed), report.Percent(we.Est/we.Routed))
+	t.AddRow("/24 subnets",
+		report.FormatFloat(we24.Ping), report.FormatFloat(we24.Observed),
+		report.FormatFloat(we24.Est), report.FormatFloat(we24.Routed),
+		report.Percent(we24.Observed/we24.Routed), report.Percent(we24.Est/we24.Routed))
+	t.Render(w)
+	fmt.Fprintf(w, "Estimated growth: %s addresses/year, %s /24s/year\n",
+		report.FormatFloat(s.Growth), report.FormatFloat(s.Growth24))
+	fmt.Fprintf(w, "Estimate/ping quotient: %.2f (paper: 2.6-2.7, Heidemann factor was 1.86)\n",
+		s.Quotient)
+}

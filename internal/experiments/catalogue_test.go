@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestCatalogueSortedUnique pins the -list contract: every experiment has
+// an id and a title, ids are unique, and the catalogue is sorted by id.
+func TestCatalogueSortedUnique(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) == 0 {
+		t.Fatal("empty catalogue")
+	}
+	seen := make(map[string]bool, len(cat))
+	for _, ex := range cat {
+		if ex.ID == "" || ex.Title == "" || ex.Run == nil {
+			t.Fatalf("incomplete experiment: %+v", ex)
+		}
+		if seen[ex.ID] {
+			t.Fatalf("duplicate experiment id %q", ex.ID)
+		}
+		seen[ex.ID] = true
+	}
+	if !sort.SliceIsSorted(cat, func(i, j int) bool { return cat[i].ID < cat[j].ID }) {
+		t.Fatal("catalogue not sorted by id")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	ex, ok := Lookup("summary")
+	if !ok || ex.ID != "summary" {
+		t.Fatalf("Lookup(summary) = %+v, %v", ex, ok)
+	}
+	if _, ok := Lookup("no-such-experiment"); ok {
+		t.Fatal("Lookup must miss on unknown ids")
+	}
+}
+
+func TestEnvConfig(t *testing.T) {
+	for _, scale := range Scales() {
+		cfg, ok := EnvConfig(scale, 42)
+		if !ok {
+			t.Fatalf("EnvConfig(%q) missing", scale)
+		}
+		if cfg.Seed != 42 {
+			t.Fatalf("EnvConfig(%q) seed = %d, want 42", scale, cfg.Seed)
+		}
+	}
+	if _, ok := EnvConfig("galactic", 1); ok {
+		t.Fatal("EnvConfig must reject unknown scales")
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"ghosts/internal/telemetry"
+)
+
+// Cache is an LRU result cache with per-entry TTL, keyed by canonical
+// request key and holding encoded response bytes. Safe for concurrent use.
+// Evictions (capacity or expiry) are reported to the telemetry recorder;
+// hit/miss accounting is the Front's job, which knows whether a lookup was
+// on the request path.
+type Cache struct {
+	mu  sync.Mutex
+	max int
+	ttl time.Duration
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+	now func() time.Time // injectable for TTL tests
+}
+
+type cacheEntry struct {
+	key     string
+	val     []byte
+	expires time.Time // zero when the cache has no TTL
+}
+
+// NewCache returns a cache holding at most max entries, each expiring ttl
+// after insertion. max ≤ 0 disables the cache (every Get misses); ttl ≤ 0
+// means entries never expire.
+func NewCache(max int, ttl time.Duration) *Cache {
+	return &Cache{
+		max: max,
+		ttl: ttl,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element),
+		now: time.Now,
+	}
+}
+
+// Get returns the cached bytes for key, refreshing its recency. Expired
+// entries are dropped on access.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if !ent.expires.IsZero() && c.now().After(ent.expires) {
+		c.removeLocked(el)
+		telemetry.Active().CacheEvicted(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return ent.val, true
+}
+
+// Put inserts (or refreshes) key → val, evicting the least-recently-used
+// entries beyond capacity.
+func (c *Cache) Put(key string, val []byte) {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if el, ok := c.m[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.val = val
+		ent.expires = expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, expires: expires})
+	evicted := 0
+	for c.ll.Len() > c.max {
+		c.removeLocked(c.ll.Back())
+		evicted++
+	}
+	if evicted > 0 {
+		telemetry.Active().CacheEvicted(evicted)
+	}
+}
+
+// Len returns the number of live entries (expired ones included until
+// touched).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.m, el.Value.(*cacheEntry).key)
+}

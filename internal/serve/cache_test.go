@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, 0)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a should be cached")
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Fatal("a should have survived")
+	}
+	if v, ok := c.Get("c"); !ok || !bytes.Equal(v, []byte("C")) {
+		t.Fatal("c should be cached")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := NewCache(8, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("k", []byte("V"))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	now = now.Add(59 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry should still be live before TTL")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry should have expired")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry not removed, len = %d", c.Len())
+	}
+}
+
+func TestCachePutRefreshesValue(t *testing.T) {
+	c := NewCache(4, 0)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("new"))
+	if v, _ := c.Get("k"); !bytes.Equal(v, []byte("new")) {
+		t.Fatalf("got %q, want new", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0, 0)
+	c.Put("k", []byte("V"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache must always miss")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(16, time.Hour)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%32)
+				c.Put(k, []byte(k))
+				c.Get(k)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

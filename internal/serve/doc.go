@@ -1,0 +1,14 @@
+// Package serve is the estimation front-end behind the ghostsd HTTP
+// daemon: it turns validated API requests (schema ghosts.api/v1) into
+// capture-recapture estimates while protecting the GLM/bootstrap hot paths
+// from oversubscription. The pipeline per request is canonicalisation
+// (Normalize/Key), an LRU result cache with TTL (Cache), single-flight
+// deduplication so concurrent identical requests share one computation
+// (Front), and a bounded admission gate (Gate) that caps how many
+// computations run at once on top of internal/parallel's worker pool.
+// Responses are encoded once and served as stored bytes, so a cache hit, a
+// single-flight follower, a cold computation and the ghosts CLI's -json
+// output are byte-identical for the same request. The package also holds
+// the capped in-memory job store (Jobs) behind the async /v1/jobs API.
+// SERVING.md documents the endpoint schemas and cache/queue semantics.
+package serve

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"ghosts/internal/telemetry"
+)
+
+// Status says how an estimate response was produced. Responses are
+// byte-identical across all three, so the status travels out of band (the
+// server puts it in the X-Ghosts-Cache header, never the body).
+type Status string
+
+const (
+	// StatusComputed: this request ran the estimator itself.
+	StatusComputed Status = "miss"
+	// StatusHit: served from the result cache.
+	StatusHit Status = "hit"
+	// StatusCoalesced: waited on an identical in-flight computation.
+	StatusCoalesced Status = "coalesced"
+)
+
+// FrontConfig configures a Front. Zero values select the defaults noted on
+// each field.
+type FrontConfig struct {
+	CacheSize int           // result-cache entries; default 256, negative disables
+	CacheTTL  time.Duration // result lifetime; default 15m, negative disables expiry
+	Slots     int           // concurrent computations; default 1
+	MaxQueue  int           // admission-queue depth; default 64, negative disables queueing
+	// Compute overrides the estimator invocation (tests use it to count
+	// and gate underlying fits); default is Compute.
+	Compute func(*EstimateRequest) (*EstimateResponse, error)
+}
+
+// Front is the estimation front-end: canonical keys, result cache,
+// single-flight deduplication and admission control, in that order. One
+// Front serves both the HTTP handlers and the async job runner.
+type Front struct {
+	cache   *Cache
+	flights flightGroup
+	gate    *Gate
+	compute func(*EstimateRequest) (*EstimateResponse, error)
+}
+
+// NewFront builds a Front from cfg.
+func NewFront(cfg FrontConfig) *Front {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 256
+	}
+	ttl := cfg.CacheTTL
+	if ttl == 0 {
+		ttl = 15 * time.Minute
+	}
+	slots := cfg.Slots
+	if slots == 0 {
+		slots = 1
+	}
+	queue := cfg.MaxQueue
+	if queue == 0 {
+		queue = 64
+	} else if queue < 0 {
+		queue = 0
+	}
+	comp := cfg.Compute
+	if comp == nil {
+		comp = Compute
+	}
+	return &Front{
+		cache:   NewCache(size, ttl),
+		gate:    NewGate(slots, queue),
+		compute: comp,
+	}
+}
+
+// Estimate normalises req and returns the encoded response bytes. The
+// fast path is a cache hit; otherwise identical concurrent requests share
+// one computation (single-flight) and computations are throttled by the
+// admission gate. The returned bytes are shared and must not be mutated.
+func (f *Front) Estimate(ctx context.Context, req *EstimateRequest) ([]byte, Status, error) {
+	if err := req.Normalize(); err != nil {
+		return nil, "", err
+	}
+	key := req.Key()
+	if b, ok := f.cache.Get(key); ok {
+		telemetry.Active().CacheHit()
+		return b, StatusHit, nil
+	}
+	b, err, shared := f.flights.Do(key, func() ([]byte, error) {
+		if err := f.gate.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer f.gate.Release()
+		telemetry.Active().CacheMiss()
+		resp, err := f.compute(req)
+		if err != nil {
+			return nil, err
+		}
+		enc := resp.Encode()
+		f.cache.Put(key, enc)
+		return enc, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if shared {
+		telemetry.Active().CoalescedFollower()
+		return b, StatusCoalesced, nil
+	}
+	return b, StatusComputed, nil
+}
+
+// AcquireSlot claims a compute slot from the admission gate for work that
+// bypasses Estimate (the async job runner), so jobs and synchronous
+// requests contend under one bound.
+func (f *Front) AcquireSlot(ctx context.Context) error { return f.gate.Acquire(ctx) }
+
+// ReleaseSlot returns a slot claimed with AcquireSlot.
+func (f *Front) ReleaseSlot() { f.gate.Release() }
+
+// CacheLen reports the number of cached responses (for tests and expvar).
+func (f *Front) CacheLen() int { return f.cache.Len() }
+
+// QueueDepth reports callers currently waiting on the admission gate.
+func (f *Front) QueueDepth() int { return f.gate.Waiting() }

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"ghosts/internal/telemetry"
+)
+
+// ErrSaturated is returned by Gate.Acquire when the admission queue is
+// full; the server maps it to 503 so load sheds at the front door instead
+// of oversubscribing the estimation engine.
+var ErrSaturated = errors.New("serve: admission queue full")
+
+// Gate is the bounded admission queue in front of the compute path: at
+// most slots computations run concurrently (each one is free to fan out
+// through internal/parallel underneath), and at most maxWait callers queue
+// behind them. Beyond that, Acquire fails fast with ErrSaturated.
+type Gate struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxWait int64
+}
+
+// NewGate returns a gate with the given concurrency and queue bounds
+// (minimums of 1 slot and 0 waiters are enforced).
+func NewGate(slots, maxWait int) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &Gate{slots: make(chan struct{}, slots), maxWait: int64(maxWait)}
+}
+
+// Acquire claims a compute slot, queueing if none is free. It returns
+// ErrSaturated when the queue is already maxWait deep, or ctx.Err() if the
+// context ends first. The observed queue depth is sampled into telemetry.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		telemetry.Active().QueueSampled(0)
+		return nil
+	default:
+	}
+	w := g.waiting.Add(1)
+	if w > g.maxWait {
+		g.waiting.Add(-1)
+		return ErrSaturated
+	}
+	telemetry.Active().QueueSampled(int(w))
+	defer g.waiting.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by Acquire.
+func (g *Gate) Release() { <-g.slots }
+
+// Waiting returns the current queue depth (callers blocked in Acquire).
+func (g *Gate) Waiting() int { return int(g.waiting.Load()) }

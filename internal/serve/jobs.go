@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ghosts/internal/telemetry"
+)
+
+// JobState is the lifecycle of an async job: pending → running → one of
+// done / failed / canceled.
+type JobState string
+
+const (
+	JobPending  JobState = "pending"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobSpec is the body of POST /v1/jobs: run one catalogue experiment at a
+// given scale and seed. Identical specs produce identical results — the
+// whole pipeline is deterministic in (experiment, scale, seed).
+type JobSpec struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+}
+
+// JobResult is what a finished job produced: the rendered text report and
+// the experiment's typed data as JSON.
+type JobResult struct {
+	Output string          `json:"output,omitempty"`
+	Data   json.RawMessage `json:"data,omitempty"`
+}
+
+// Job is the API-facing snapshot of one async job (GET /v1/jobs/{id}).
+type Job struct {
+	API  string `json:"api"`
+	Kind string `json:"kind"` // always "job"
+	ID   string `json:"id"`
+	JobSpec
+	State  JobState        `json:"state"`
+	Output string          `json:"output,omitempty"`
+	Data   json.RawMessage `json:"data,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// ErrJobsFull is returned by Submit when the store is at capacity and no
+// terminal job can be evicted; the server maps it to 429.
+var ErrJobsFull = errors.New("serve: job store full")
+
+// RunJobFunc executes one job. It must honour ctx promptly before starting
+// heavy work; once an experiment is running it completes (the estimation
+// engine has no preemption points), which is what shutdown drains.
+type RunJobFunc func(ctx context.Context, spec JobSpec) (JobResult, error)
+
+type jobRec struct {
+	id     string
+	spec   JobSpec
+	state  JobState
+	result JobResult
+	err    string
+}
+
+// Jobs is the capped in-memory job store plus runner. Submitted jobs run
+// in their own goroutine under the store's base context; BeginShutdown
+// cancels jobs that have not started and Drain waits for the rest, so a
+// graceful server shutdown never abandons a running job mid-flight.
+type Jobs struct {
+	mu     sync.Mutex
+	cap    int
+	seq    int
+	m      map[string]*jobRec
+	order  []string // insertion order, for capacity eviction
+	run    RunJobFunc
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewJobs returns a store keeping at most cap jobs (default 64 when ≤ 0)
+// and running each submission through run.
+func NewJobs(cap int, run RunJobFunc) *Jobs {
+	if cap <= 0 {
+		cap = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Jobs{
+		cap:    cap,
+		m:      make(map[string]*jobRec),
+		run:    run,
+		ctx:    ctx,
+		cancel: cancel,
+	}
+}
+
+// Submit registers spec and launches it asynchronously, returning the
+// pending snapshot. When the store is full, the oldest terminal job is
+// evicted to make room; if every stored job is still live, ErrJobsFull.
+func (j *Jobs) Submit(spec JobSpec) (Job, error) {
+	j.mu.Lock()
+	if len(j.m) >= j.cap && !j.evictLocked() {
+		j.mu.Unlock()
+		return Job{}, ErrJobsFull
+	}
+	j.seq++
+	rec := &jobRec{id: fmt.Sprintf("j%d", j.seq), spec: spec, state: JobPending}
+	j.m[rec.id] = rec
+	j.order = append(j.order, rec.id)
+	snap := rec.snapshotLocked()
+	j.mu.Unlock()
+
+	j.wg.Add(1)
+	go func() {
+		defer j.wg.Done()
+		// A shutdown that lands before the job starts cancels it cleanly.
+		if j.ctx.Err() != nil {
+			j.finish(rec, JobResult{}, context.Canceled)
+			return
+		}
+		j.setState(rec, JobRunning)
+		res, err := j.run(j.ctx, rec.spec)
+		j.finish(rec, res, err)
+	}()
+	return snap, nil
+}
+
+// Get returns a snapshot of the job with the given id.
+func (j *Jobs) Get(id string) (Job, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.m[id]
+	if !ok {
+		return Job{}, false
+	}
+	return rec.snapshotLocked(), true
+}
+
+// List returns snapshots of every stored job in submission order.
+func (j *Jobs) List() []Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Job, 0, len(j.order))
+	for _, id := range j.order {
+		if rec, ok := j.m[id]; ok {
+			out = append(out, rec.snapshotLocked())
+		}
+	}
+	return out
+}
+
+// BeginShutdown cancels the base context: jobs that have not started flip
+// to canceled, running jobs keep going until completion.
+func (j *Jobs) BeginShutdown() { j.cancel() }
+
+// Drain blocks until every launched job reaches a terminal state.
+func (j *Jobs) Drain() { j.wg.Wait() }
+
+func (j *Jobs) setState(rec *jobRec, s JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !rec.state.Terminal() {
+		rec.state = s
+	}
+}
+
+func (j *Jobs) finish(rec *jobRec, res JobResult, err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		rec.state = JobDone
+		rec.result = res
+	case errors.Is(err, context.Canceled):
+		rec.state = JobCanceled
+		rec.err = "canceled by shutdown"
+	default:
+		rec.state = JobFailed
+		rec.err = err.Error()
+	}
+	ok := rec.state == JobDone
+	j.mu.Unlock()
+	telemetry.Active().JobFinished(ok)
+}
+
+// evictLocked drops the oldest terminal job; false when none is evictable.
+func (j *Jobs) evictLocked() bool {
+	for i, id := range j.order {
+		rec, ok := j.m[id]
+		if !ok || rec.state.Terminal() {
+			delete(j.m, id)
+			j.order = append(j.order[:i], j.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (rec *jobRec) snapshotLocked() Job {
+	return Job{
+		API:     APIVersion,
+		Kind:    "job",
+		ID:      rec.id,
+		JobSpec: rec.spec,
+		State:   rec.state,
+		Output:  rec.result.Output,
+		Data:    rec.result.Data,
+		Error:   rec.err,
+	}
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestJobLifecycle pins pending → running → done with the result visible
+// in the final snapshot.
+func TestJobLifecycle(t *testing.T) {
+	release := make(chan struct{})
+	js := NewJobs(4, func(ctx context.Context, spec JobSpec) (JobResult, error) {
+		<-release
+		return JobResult{Output: "report for " + spec.Experiment, Data: []byte(`{"x":1}`)}, nil
+	})
+	job, err := js.Submit(JobSpec{Experiment: "summary", Scale: "tiny", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobPending {
+		t.Fatalf("submit snapshot state = %q, want pending", job.State)
+	}
+	if job.ID != "j1" || job.Kind != "job" || job.API != APIVersion {
+		t.Fatalf("bad snapshot: %+v", job)
+	}
+	waitFor(t, "running", func() bool {
+		j, _ := js.Get(job.ID)
+		return j.State == JobRunning
+	})
+	close(release)
+	waitFor(t, "done", func() bool {
+		j, _ := js.Get(job.ID)
+		return j.State.Terminal()
+	})
+	got, _ := js.Get(job.ID)
+	if got.State != JobDone || got.Output != "report for summary" || string(got.Data) != `{"x":1}` {
+		t.Fatalf("final snapshot: %+v", got)
+	}
+	js.Drain()
+}
+
+func TestJobFailure(t *testing.T) {
+	js := NewJobs(4, func(ctx context.Context, spec JobSpec) (JobResult, error) {
+		return JobResult{}, errors.New("boom")
+	})
+	job, err := js.Submit(JobSpec{Experiment: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js.Drain()
+	got, _ := js.Get(job.ID)
+	if got.State != JobFailed || got.Error != "boom" {
+		t.Fatalf("final snapshot: %+v", got)
+	}
+}
+
+// TestJobCanceledByShutdown: a job waiting behind a busy slot at shutdown
+// ends canceled, while the running one drains to completion — the graceful
+// shutdown contract.
+func TestJobCanceledByShutdown(t *testing.T) {
+	gate := NewGate(1, 8)
+	release := make(chan struct{})
+	acquired := make(chan struct{}, 4)
+	js := NewJobs(4, func(ctx context.Context, spec JobSpec) (JobResult, error) {
+		if err := gate.Acquire(ctx); err != nil {
+			return JobResult{}, err
+		}
+		defer gate.Release()
+		acquired <- struct{}{}
+		<-release
+		return JobResult{Output: "done"}, nil
+	})
+	j1, err := js.Submit(JobSpec{Experiment: "first"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-acquired // j1 holds the only slot before j2 even starts
+	j2, err := js.Submit(JobSpec{Experiment: "second"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j2 queues behind j1.
+	waitFor(t, "j2 queued", func() bool { return gate.Waiting() == 1 })
+
+	js.BeginShutdown() // cancels j2's Acquire; j1 keeps running
+	close(release)
+	js.Drain()
+
+	g1, _ := js.Get(j1.ID)
+	g2, _ := js.Get(j2.ID)
+	if g1.State != JobDone || g1.Output != "done" {
+		t.Fatalf("running job must drain to done, got %+v", g1)
+	}
+	if g2.State != JobCanceled {
+		t.Fatalf("queued job must cancel on shutdown, got %+v", g2)
+	}
+}
+
+func TestJobStoreCapacityEviction(t *testing.T) {
+	js := NewJobs(2, func(ctx context.Context, spec JobSpec) (JobResult, error) {
+		return JobResult{Output: spec.Experiment}, nil
+	})
+	j1, _ := js.Submit(JobSpec{Experiment: "a"})
+	js.Drain()
+	j2, _ := js.Submit(JobSpec{Experiment: "b"})
+	js.Drain()
+	// Store is full; the oldest finished job (j1) is evicted for j3.
+	j3, err := js.Submit(JobSpec{Experiment: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js.Drain()
+	if _, ok := js.Get(j1.ID); ok {
+		t.Fatal("oldest terminal job should have been evicted")
+	}
+	for _, id := range []string{j2.ID, j3.ID} {
+		if _, ok := js.Get(id); !ok {
+			t.Fatalf("job %s missing", id)
+		}
+	}
+	if got := len(js.List()); got != 2 {
+		t.Fatalf("List() has %d jobs, want 2", got)
+	}
+}
+
+func TestJobStoreFull(t *testing.T) {
+	block := make(chan struct{})
+	js := NewJobs(2, func(ctx context.Context, spec JobSpec) (JobResult, error) {
+		<-block
+		return JobResult{}, nil
+	})
+	js.Submit(JobSpec{Experiment: "a"})
+	js.Submit(JobSpec{Experiment: "b"})
+	if _, err := js.Submit(JobSpec{Experiment: "c"}); !errors.Is(err, ErrJobsFull) {
+		t.Fatalf("err = %v, want ErrJobsFull", err)
+	}
+	close(block)
+	js.Drain()
+}

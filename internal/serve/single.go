@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates concurrent calls by key: the first caller (the
+// leader) runs fn, every caller that arrives while it is in flight (a
+// follower) blocks and receives the leader's result. This is the
+// single-flight layer between the result cache and the admission gate —
+// a burst of identical requests costs exactly one model fit.
+type flightGroup struct {
+	mu      sync.Mutex
+	m       map[string]*flightCall
+	waiters atomic.Int64 // followers currently parked (tests observe this)
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Do runs fn for key, coalescing concurrent duplicates. shared reports
+// whether the result was produced by another caller's invocation.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.waiters.Add(1)
+		<-c.done
+		g.waiters.Add(-1)
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,10 @@
+// Package server is the HTTP layer of the ghostsd daemon: routing,
+// request validation, the JSON error envelope, per-route telemetry and
+// graceful shutdown. It exposes the synchronous estimation API
+// (POST /v1/estimate, GET /v1/experiments), the async job API
+// (POST /v1/jobs, GET /v1/jobs/{id}), the /healthz and /readyz probes and
+// the standard /debug/vars + /debug/pprof surface, all on one mux. The
+// estimation semantics (caching, single-flight, admission control, the job
+// store) live in internal/serve; this package only translates HTTP to and
+// from it. SERVING.md documents every endpoint and schema.
+package server

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"ghosts/internal/experiments"
+	"ghosts/internal/parallel"
+	"ghosts/internal/serve"
+	"ghosts/internal/telemetry"
+)
+
+// maxBodyBytes caps request bodies: a 16-source capture-history table is
+// 65536 cells, comfortably under 4 MiB of JSON.
+const maxBodyBytes = 4 << 20
+
+// Config assembles a Server. Zero values select defaults.
+type Config struct {
+	Front   *serve.Front // required: the estimation front-end
+	MaxJobs int          // job-store capacity; default 64
+	// RunJob overrides the job executor (tests inject gates and counters);
+	// default runs the named catalogue experiment.
+	RunJob serve.RunJobFunc
+	// DrainTimeout bounds Run's graceful shutdown of in-flight HTTP
+	// requests; default 30s. Job draining is not subject to it — running
+	// jobs always complete.
+	DrainTimeout time.Duration
+	// Recorder, when set, is published as the live "telemetry" expvar.
+	Recorder *telemetry.Recorder
+	// Log receives one line per lifecycle event; default os.Stderr.
+	Log io.Writer
+}
+
+// Server wires the serve front-end and job store into an http.Handler and
+// owns readiness and graceful shutdown.
+type Server struct {
+	mux          *http.ServeMux
+	front        *serve.Front
+	jobs         *serve.Jobs
+	ready        atomic.Bool
+	addr         atomic.Value // string; set once Run is listening
+	drainTimeout time.Duration
+	log          io.Writer
+	start        time.Time
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Front == nil {
+		cfg.Front = serve.NewFront(serve.FrontConfig{})
+	}
+	s := &Server{
+		mux:          http.NewServeMux(),
+		front:        cfg.Front,
+		drainTimeout: cfg.DrainTimeout,
+		log:          cfg.Log,
+		start:        time.Now(),
+	}
+	if s.drainTimeout <= 0 {
+		s.drainTimeout = 30 * time.Second
+	}
+	if s.log == nil {
+		s.log = os.Stderr
+	}
+	runJob := cfg.RunJob
+	if runJob == nil {
+		runJob = s.runExperimentJob
+	}
+	s.jobs = serve.NewJobs(cfg.MaxJobs, runJob)
+	s.ready.Store(true)
+
+	s.mux.HandleFunc("POST /v1/estimate", s.instrument("estimate", s.handleEstimate))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperiments))
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("jobs.submit", s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.instrument("jobs.list", s.handleJobList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs.get", s.handleJobGet))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+
+	// The existing debug surface, folded into the same mux.
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if cfg.Recorder != nil {
+		rec, start := cfg.Recorder, s.start
+		publishExpvarOnce("telemetry", expvar.Func(func() any {
+			return rec.Report(start, time.Now(), parallel.Workers())
+		}))
+	}
+	return s
+}
+
+// publishExpvarOnce tolerates re-registration (tests build several
+// servers in one process; expvar.Publish panics on duplicates).
+func publishExpvarOnce(name string, v expvar.Var) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, v)
+	}
+}
+
+// Handler returns the root handler (also useful under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Addr returns the bound listen address once Run is serving ("" before).
+// With "-addr :0" this is how callers learn the picked port.
+func (s *Server) Addr() string {
+	if v := s.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Jobs exposes the job store (for tests and the CLI's drain path).
+func (s *Server) Jobs() *serve.Jobs { return s.jobs }
+
+// SetReady flips the /readyz probe; Run clears it when shutdown begins so
+// load balancers stop routing before the listener closes.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Run serves on addr until ctx is cancelled, then shuts down gracefully:
+// readiness goes false, in-flight HTTP requests get DrainTimeout to
+// finish, pending jobs are cancelled and running jobs are drained to
+// completion. A clean shutdown returns nil.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.addr.Store(ln.Addr().String())
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	fmt.Fprintf(s.log, "ghostsd: listening on http://%s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(s.log, "ghostsd: shutting down (draining for up to %v)\n", s.drainTimeout)
+	s.ready.Store(false)
+	// Pending jobs are canceled the moment shutdown starts, so nothing new
+	// can claim a compute slot; in-flight HTTP requests and already-running
+	// jobs then drain to completion.
+	s.jobs.BeginShutdown()
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
+	defer cancel()
+	shutErr := hs.Shutdown(shutCtx)
+	s.jobs.Drain()
+	fmt.Fprintf(s.log, "ghostsd: shutdown complete\n")
+	return shutErr
+}
+
+// runExperimentJob is the default job executor: build a fresh environment
+// at the requested scale and seed, run the catalogue experiment, capture
+// the rendered report and the typed data. The admission gate is shared
+// with synchronous estimates so jobs cannot oversubscribe the engine.
+func (s *Server) runExperimentJob(ctx context.Context, spec serve.JobSpec) (serve.JobResult, error) {
+	ex, ok := experiments.Lookup(spec.Experiment)
+	if !ok {
+		return serve.JobResult{}, fmt.Errorf("unknown experiment %q", spec.Experiment)
+	}
+	cfg, ok := experiments.EnvConfig(spec.Scale, spec.Seed)
+	if !ok {
+		return serve.JobResult{}, fmt.Errorf("unknown scale %q", spec.Scale)
+	}
+	if err := s.front.AcquireSlot(ctx); err != nil {
+		return serve.JobResult{}, err
+	}
+	defer s.front.ReleaseSlot()
+	env := experiments.New(cfg, spec.Seed)
+	result := ex.Run(env)
+	var buf bytes.Buffer
+	result.Render(&buf)
+	data, err := json.Marshal(result)
+	if err != nil {
+		return serve.JobResult{Output: buf.String()}, nil
+	}
+	return serve.JobResult{Output: buf.String(), Data: data}, nil
+}
+
+// instrument wraps a handler with the request counter, latency histogram
+// and per-route phase emission.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		telemetry.Active().HTTPDone(route, time.Since(t0), sw.status >= 400)
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// errorEnvelope is the uniform error body.
+type errorEnvelope struct {
+	API   string    `json:"api"`
+	Kind  string    `json:"kind"` // always "error"
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	s.writeJSON(w, status, errorEnvelope{
+		API:   serve.APIVersion,
+		Kind:  "error",
+		Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// decodeJSON strictly decodes the request body into v: unknown fields and
+// trailing garbage are validation errors, surfaced as 400s by callers.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("unexpected data after JSON body")
+	}
+	return nil
+}
+
+// handleEstimate is POST /v1/estimate: validate, then serve through the
+// cache / single-flight / admission front-end. The response bytes come
+// back pre-encoded so every production path emits identical bytes; the
+// X-Ghosts-Cache header says which path ran (hit, miss, coalesced).
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req serve.EstimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_json", "decoding request: %v", err)
+		return
+	}
+	body, status, err := s.front.Estimate(r.Context(), &req)
+	if err != nil {
+		var reqErr *serve.RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			s.writeError(w, http.StatusBadRequest, "invalid_request", "%s", reqErr.Error())
+		case errors.Is(err, serve.ErrSaturated):
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "saturated", "admission queue full, retry later")
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			s.writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled: %v", err)
+		default:
+			s.writeError(w, http.StatusUnprocessableEntity, "estimation_failed", "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Ghosts-Cache", string(status))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// experimentsEnvelope is the body of GET /v1/experiments.
+type experimentsEnvelope struct {
+	API         string          `json:"api"`
+	Kind        string          `json:"kind"` // always "experiments"
+	Scales      []string        `json:"scales"`
+	Experiments []experimentRef `json:"experiments"`
+}
+
+type experimentRef struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// handleExperiments is GET /v1/experiments: the catalogue, sorted by id —
+// the same registry the ghosts CLI's -list prints.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	env := experimentsEnvelope{
+		API:    serve.APIVersion,
+		Kind:   "experiments",
+		Scales: experiments.Scales(),
+	}
+	for _, ex := range experiments.Catalogue() {
+		env.Experiments = append(env.Experiments, experimentRef{ID: ex.ID, Title: ex.Title})
+	}
+	s.writeJSON(w, http.StatusOK, env)
+}
+
+// handleJobSubmit is POST /v1/jobs: validate the spec against the
+// catalogue and scale vocabulary, then enqueue.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec serve.JobSpec
+	if err := decodeJSON(r, &spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_json", "decoding request: %v", err)
+		return
+	}
+	if _, ok := experiments.Lookup(spec.Experiment); !ok {
+		s.writeError(w, http.StatusBadRequest, "invalid_request",
+			"unknown experiment %q (see GET /v1/experiments)", spec.Experiment)
+		return
+	}
+	if spec.Scale == "" {
+		spec.Scale = "tiny"
+	}
+	if _, ok := experiments.EnvConfig(spec.Scale, spec.Seed); !ok {
+		s.writeError(w, http.StatusBadRequest, "invalid_request",
+			"unknown scale %q (tiny, small, medium)", spec.Scale)
+		return
+	}
+	job, err := s.jobs.Submit(spec)
+	if err != nil {
+		s.writeError(w, http.StatusTooManyRequests, "jobs_full", "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	s.writeJSON(w, http.StatusAccepted, job)
+}
+
+// handleJobGet is GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "not_found", "no job %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, job)
+}
+
+// jobsEnvelope is the body of GET /v1/jobs.
+type jobsEnvelope struct {
+	API  string      `json:"api"`
+	Kind string      `json:"kind"` // always "jobs"
+	Jobs []serve.Job `json:"jobs"`
+}
+
+// handleJobList is GET /v1/jobs: every stored job, submission order.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, jobsEnvelope{API: serve.APIVersion, Kind: "jobs", Jobs: s.jobs.List()})
+}
+
+// handleHealthz reports liveness: the process is up.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness: 503 once shutdown has begun.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

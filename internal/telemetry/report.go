@@ -27,6 +27,7 @@ type Report struct {
 	Select   SelectReport    `json:"model_selection"`
 	Boot     BootstrapReport `json:"bootstrap"`
 	Parallel ParallelReport  `json:"parallel"`
+	Serve    ServeReport     `json:"serve"`
 	Phases   []PhaseReport   `json:"phases"`
 }
 
@@ -71,6 +72,23 @@ type ParallelReport struct {
 	BusyMS      float64 `json:"busy_ms"`
 	WallMS      float64 `json:"wall_ms"`
 	Utilization float64 `json:"utilization"`
+}
+
+// ServeReport summarises the HTTP serving layer (metric prefix serve):
+// handler traffic, the estimate result cache, single-flight coalescing,
+// admission-queue pressure and the async job store. Per-route latency lives
+// in the "http.<route>" phases.
+type ServeReport struct {
+	Requests       int64             `json:"requests"`
+	Errors         int64             `json:"errors"`
+	LatencyUS      HistogramSnapshot `json:"latency_us"`
+	CacheHits      int64             `json:"cache_hits"`
+	CacheMisses    int64             `json:"cache_misses"`
+	CacheEvictions int64             `json:"cache_evictions"`
+	Coalesced      int64             `json:"coalesced"`
+	QueueDepth     HistogramSnapshot `json:"queue_depth"`
+	JobsRun        int64             `json:"jobs_run"`
+	JobsFailed     int64             `json:"jobs_failed"`
 }
 
 // PhaseReport is one named pipeline phase (metric prefix phase).
@@ -129,6 +147,18 @@ func (r *Recorder) Report(started, finished time.Time, workers int) *Report {
 	}
 	if wall > 0 && workers > 0 {
 		rep.Parallel.Utilization = float64(busy) / (float64(wall) * float64(workers))
+	}
+	rep.Serve = ServeReport{
+		Requests:       r.HTTPRequests.Load(),
+		Errors:         r.HTTPErrors.Load(),
+		LatencyUS:      r.HTTPLatencyUS.Snapshot(),
+		CacheHits:      r.CacheHits.Load(),
+		CacheMisses:    r.CacheMisses.Load(),
+		CacheEvictions: r.CacheEvictions.Load(),
+		Coalesced:      r.Coalesced.Load(),
+		QueueDepth:     r.QueueDepth.Snapshot(),
+		JobsRun:        r.JobsRun.Load(),
+		JobsFailed:     r.JobsFailed.Load(),
 	}
 	for _, name := range r.phaseNames() {
 		p := r.phase(name)

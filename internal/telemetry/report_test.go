@@ -30,6 +30,16 @@ func populate() *Recorder {
 	r.FanOutDone(time.Second)
 	r.AddPhase("exp.summary", 250*time.Millisecond, 1)
 	r.AddPhase("env.estimates", 500*time.Millisecond, 13)
+	r.HTTPDone("estimate", 2*time.Millisecond, false)
+	r.HTTPDone("estimate", 6*time.Millisecond, true)
+	r.CacheHit()
+	r.CacheMiss()
+	r.CacheEvicted(3)
+	r.CoalescedFollower()
+	r.QueueSampled(1)
+	r.QueueSampled(3)
+	r.JobFinished(true)
+	r.JobFinished(false)
 	return r
 }
 
@@ -93,6 +103,48 @@ const goldenReport = `{
     "wall_ms": 1000,
     "utilization": 0.75
   },
+  "serve": {
+    "requests": 2,
+    "errors": 1,
+    "latency_us": {
+      "count": 2,
+      "sum": 8000,
+      "mean": 4000,
+      "max": 6000,
+      "buckets": [
+        {
+          "le": 2047,
+          "n": 1
+        },
+        {
+          "le": 8191,
+          "n": 1
+        }
+      ]
+    },
+    "cache_hits": 1,
+    "cache_misses": 1,
+    "cache_evictions": 3,
+    "coalesced": 1,
+    "queue_depth": {
+      "count": 2,
+      "sum": 4,
+      "mean": 2,
+      "max": 3,
+      "buckets": [
+        {
+          "le": 1,
+          "n": 1
+        },
+        {
+          "le": 3,
+          "n": 1
+        }
+      ]
+    },
+    "jobs_run": 2,
+    "jobs_failed": 1
+  },
   "phases": [
     {
       "name": "env.estimates",
@@ -105,6 +157,12 @@ const goldenReport = `{
       "calls": 1,
       "wall_ms": 250,
       "items": 1
+    },
+    {
+      "name": "http.estimate",
+      "calls": 2,
+      "wall_ms": 8,
+      "items": 2
     }
   ]
 }
@@ -160,7 +218,7 @@ func TestReportValidJSONRoundTrip(t *testing.T) {
 	if back.Schema != Schema {
 		t.Fatalf("schema = %q, want %q", back.Schema, Schema)
 	}
-	if back.Fit.Count != 2 || back.Pool.HitRate != 0.75 || len(back.Phases) != 2 {
+	if back.Fit.Count != 2 || back.Pool.HitRate != 0.75 || back.Serve.Requests != 2 || len(back.Phases) != 3 {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
 }

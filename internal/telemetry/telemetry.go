@@ -181,6 +181,18 @@ type Recorder struct {
 	Busy    Timer   // summed task execution time across workers
 	Wall    Timer   // summed fan-out wall time (one interval per ForEach)
 
+	// Serving layer (internal/serve front-end, internal/server handlers).
+	HTTPRequests   Counter   // requests handled (all routes)
+	HTTPErrors     Counter   // requests that ended in a 4xx/5xx
+	HTTPLatencyUS  Histogram // per-request latency, microseconds
+	CacheHits      Counter   // estimate responses served from the result cache
+	CacheMisses    Counter   // estimate requests that had to compute
+	CacheEvictions Counter   // cache entries dropped (LRU pressure or TTL)
+	Coalesced      Counter   // single-flight followers served by a leader's fit
+	QueueDepth     Histogram // admission-queue waiters sampled at enqueue
+	JobsRun        Counter   // async jobs that reached a terminal state
+	JobsFailed     Counter   // async jobs that ended in failure or cancellation
+
 	mu     sync.Mutex
 	phases map[string]*Phase
 }
@@ -278,6 +290,75 @@ func (r *Recorder) FanOutDone(wall time.Duration) {
 		return
 	}
 	r.Wall.Add(wall)
+}
+
+// HTTPDone records one handled HTTP request: its route (folded into the
+// per-route "http.<route>" phase), wall latency, and whether it ended in an
+// error status. The latency histogram is process-wide across routes.
+func (r *Recorder) HTTPDone(route string, d time.Duration, errored bool) {
+	if r == nil {
+		return
+	}
+	r.HTTPRequests.Inc()
+	if errored {
+		r.HTTPErrors.Inc()
+	}
+	r.HTTPLatencyUS.Observe(int64(d / time.Microsecond))
+	r.AddPhase("http."+route, d, 1)
+}
+
+// CacheHit records an estimate served straight from the result cache.
+func (r *Recorder) CacheHit() {
+	if r == nil {
+		return
+	}
+	r.CacheHits.Inc()
+}
+
+// CacheMiss records an estimate that had to be computed.
+func (r *Recorder) CacheMiss() {
+	if r == nil {
+		return
+	}
+	r.CacheMisses.Inc()
+}
+
+// CacheEvicted records n cache entries dropped by LRU pressure or TTL.
+func (r *Recorder) CacheEvicted(n int) {
+	if r == nil {
+		return
+	}
+	r.CacheEvictions.Add(int64(n))
+}
+
+// CoalescedFollower records a request that waited on another request's
+// identical in-flight computation instead of starting its own.
+func (r *Recorder) CoalescedFollower() {
+	if r == nil {
+		return
+	}
+	r.Coalesced.Inc()
+}
+
+// QueueSampled records the number of admission-queue waiters observed when
+// a request asked for a compute slot.
+func (r *Recorder) QueueSampled(waiting int) {
+	if r == nil {
+		return
+	}
+	r.QueueDepth.Observe(int64(waiting))
+}
+
+// JobFinished records one async job reaching a terminal state; ok is false
+// for failed or cancelled jobs.
+func (r *Recorder) JobFinished(ok bool) {
+	if r == nil {
+		return
+	}
+	r.JobsRun.Inc()
+	if !ok {
+		r.JobsFailed.Inc()
+	}
 }
 
 // phase returns the named phase, creating it on first use.

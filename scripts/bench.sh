@@ -18,7 +18,11 @@ PATTERN="${1:-.}"
 BENCHTIME="${2:-1x}"
 OUT="BENCH_$(date +%Y-%m-%d).json"
 TXT="$(mktemp)"
-trap 'rm -f "$TXT"' EXIT
+cleanup() {
+    [ -n "${SERVEPID:-}" ] && kill "$SERVEPID" 2>/dev/null || true
+    rm -rf "$TXT" "${SERVEDIR:-}"
+}
+trap cleanup EXIT
 
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$TXT"
 
@@ -45,4 +49,35 @@ echo "wrote $OUT"
 if [ -z "${GHOSTS_BENCH_NO_TELEMETRY:-}" ]; then
     TELEMETRY="BENCH_$(date +%Y-%m-%d).telemetry.json"
     go run ./cmd/ghosts -exp summary -scale tiny -metrics "$TELEMETRY" > /dev/null
+fi
+
+# Server-side latency snapshot: boot ghostsd on a random port, replay a
+# small request mix (cold computes, cache hits, a distinct table), then
+# shut down; the telemetry report it writes carries the serve section
+# (request/latency histograms, cache hit counts — see OBSERVABILITY.md).
+# Set GHOSTS_BENCH_NO_SERVE=1 to skip it.
+if [ -z "${GHOSTS_BENCH_NO_SERVE:-}" ]; then
+    SERVEOUT="BENCH_$(date +%Y-%m-%d).serve.json"
+    SERVEDIR="$(mktemp -d)"
+    SERVELOG="$SERVEDIR/ghostsd.log"
+    go build -o "$SERVEDIR/ghostsd" ./cmd/ghostsd
+    "$SERVEDIR/ghostsd" -addr 127.0.0.1:0 -metrics "$SERVEOUT" 2> "$SERVELOG" &
+    SERVEPID=$!
+    BASE=""
+    for _ in $(seq 1 100); do
+        BASE="$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$SERVELOG" | head -n 1)"
+        [ -n "$BASE" ] && break
+        sleep 0.1
+    done
+    [ -n "$BASE" ] || { echo "ghostsd never came up:" >&2; cat "$SERVELOG" >&2; exit 1; }
+    REQ='{"counts":[0,400,350,120,300,90,80,40],"limit":5000}'
+    ALT='{"counts":[0,400,350,120,300,90,80,40],"limit":6000}'
+    for _ in $(seq 1 10); do
+        curl -fsS -X POST "$BASE/v1/estimate" -d "$REQ" > /dev/null
+    done
+    curl -fsS -X POST "$BASE/v1/estimate" -d "$ALT" > /dev/null
+    kill -TERM "$SERVEPID"
+    wait "$SERVEPID"
+    SERVEPID=""
+    echo "wrote $SERVEOUT"
 fi

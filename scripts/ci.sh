@@ -24,4 +24,33 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
+echo "== ghostsd smoke =="
+# Build the daemon, boot it on a random port, hit the health probe and one
+# estimate, then check it shuts down cleanly on SIGTERM (exit 0).
+SMOKEDIR="$(mktemp -d)"
+SMOKELOG="$SMOKEDIR/ghostsd.log"
+cleanup_smoke() {
+    [ -n "${SMOKEPID:-}" ] && kill "$SMOKEPID" 2>/dev/null || true
+    rm -rf "$SMOKEDIR"
+}
+trap cleanup_smoke EXIT
+go build -o "$SMOKEDIR/ghostsd" ./cmd/ghostsd
+"$SMOKEDIR/ghostsd" -addr 127.0.0.1:0 2> "$SMOKELOG" &
+SMOKEPID=$!
+BASE=""
+for _ in $(seq 1 100); do
+    BASE="$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$SMOKELOG" | head -n 1)"
+    [ -n "$BASE" ] && break
+    sleep 0.1
+done
+[ -n "$BASE" ] || { echo "ghostsd never came up:" >&2; cat "$SMOKELOG" >&2; exit 1; }
+curl -fsS "$BASE/healthz" | grep -q '^ok$'
+curl -fsS -X POST "$BASE/v1/estimate" \
+    -d '{"counts":[0,400,350,120,300,90,80,40],"limit":5000}' \
+    | grep -q '"kind": "estimate"'
+kill -TERM "$SMOKEPID"
+wait "$SMOKEPID" || { echo "ghostsd did not exit cleanly on SIGTERM" >&2; exit 1; }
+SMOKEPID=""
+echo "ghostsd smoke OK ($BASE)"
+
 echo "CI OK"
