@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -107,7 +108,7 @@ func estimate(dir string, jsonOut bool) error {
 		if err := req.Normalize(); err != nil {
 			return err
 		}
-		resp, err := serve.Compute(req)
+		resp, err := serve.Compute(context.Background(), req)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@
 //	ghostsd                                  # serve on :8080
 //	ghostsd -addr localhost:9090             # explicit address
 //	ghostsd -slots 2 -queue 128              # widen admission bounds
+//	ghostsd -compute-timeout 30s             # bound each estimate's compute (504 past it)
 //	ghostsd -cache-size 1024 -cache-ttl 1h   # result-cache tuning
 //	ghostsd -metrics run.json                # telemetry report on shutdown
 //
@@ -52,6 +53,7 @@ func main() {
 		ttlFlag      = flag.Duration("cache-ttl", 15*time.Minute, "result-cache entry lifetime (negative disables expiry)")
 		jobsFlag     = flag.Int("max-jobs", 64, "job-store capacity (oldest finished jobs are evicted)")
 		drainFlag    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+		computeFlag  = flag.Duration("compute-timeout", 0, "per-request compute deadline for /v1/estimate (0 = none; past it the request fails with 504)")
 		metricsFlag  = flag.String("metrics", "", "write a JSON telemetry run report here on shutdown (see OBSERVABILITY.md)")
 	)
 	flag.Parse()
@@ -70,10 +72,11 @@ func main() {
 		MaxQueue:  *queueFlag,
 	})
 	srv := server.New(server.Config{
-		Front:        front,
-		MaxJobs:      *jobsFlag,
-		DrainTimeout: *drainFlag,
-		Recorder:     rec,
+		Front:          front,
+		MaxJobs:        *jobsFlag,
+		DrainTimeout:   *drainFlag,
+		ComputeTimeout: *computeFlag,
+		Recorder:       rec,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -18,6 +19,15 @@ import (
 // reflects only Poisson sampling noise, so it is a lower bound on the real
 // uncertainty (§3.3.3's caveat applies with the same force).
 func BootstrapInterval(tb *Table, fit *FitResult, limit float64, b int, conf float64, seed uint64) (Interval, error) {
+	return BootstrapIntervalCtx(context.Background(), tb, fit, limit, b, conf, seed)
+}
+
+// BootstrapIntervalCtx is BootstrapInterval with cooperative cancellation:
+// the fan-out checks ctx between replicates and the call returns ctx.Err()
+// once it is done, instead of refitting the remaining replicates. With a
+// never-canceled context the replicate streams — and the interval — are
+// bit-identical to BootstrapInterval.
+func BootstrapIntervalCtx(ctx context.Context, tb *Table, fit *FitResult, limit float64, b int, conf float64, seed uint64) (Interval, error) {
 	if b < 10 {
 		return Interval{}, errors.New("core: need at least 10 bootstrap replicates")
 	}
@@ -52,7 +62,7 @@ func BootstrapInterval(tb *Table, fit *FitResult, limit float64, b int, conf flo
 		gens[i] = master.Split()
 	}
 	raw := make([]float64, b)
-	parallel.ForEach(b, func(rep int) {
+	err = parallel.ForEachCtx(ctx, b, func(rep int) {
 		raw[rep] = math.NaN() // NaN marks a failed replicate
 		r := gens[rep]
 		resampled := NewTable(tb.T)
@@ -72,6 +82,9 @@ func BootstrapInterval(tb *Table, fit *FitResult, limit float64, b int, conf flo
 		}
 		raw[rep] = n
 	})
+	if err != nil {
+		return Interval{}, err
+	}
 	ests := make([]float64, 0, b)
 	for _, n := range raw {
 		if !math.IsNaN(n) {

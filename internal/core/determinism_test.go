@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"ghosts/internal/parallel"
@@ -142,5 +145,152 @@ func TestWarmStartInsertsZeroColumn(t *testing.T) {
 	want = []float64{10, 1, 2, 3, 0, 55}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("warmStart front-position = %v, want %v", got, want)
+	}
+}
+
+// budgetCtx is a context whose Err flips to context.Canceled after a fixed
+// number of Err() calls — a deterministic way to trigger cancellation at an
+// exact cooperative checkpoint, since the ctx-aware engine entry points
+// poll Err() at every checkpoint and nowhere else.
+type budgetCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newBudgetCtx(n int64) *budgetCtx {
+	c := &budgetCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *budgetCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCtxVariantsBitIdentical pins the contract that makes the ctx-aware
+// entry points safe to adopt everywhere: with a context that is never
+// canceled they must produce bit-identical results to the legacy calls —
+// same model, same IC bits, same interval bits.
+func TestCtxVariantsBitIdentical(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(4)
+	r := rng.New(909)
+	tb := sampleTable(r, 120000, []float64{0.2, 0.3, 0.25, 0.15}, nil, 0)
+	ctx := context.Background()
+
+	opt := SelectionOptions{IC: BIC, Divisor: Adaptive1000, Limit: math.Inf(1)}
+	m1, ic1, err1 := SelectModel(tb, opt)
+	m2, ic2, err2 := SelectModelCtx(ctx, tb, opt)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(m1.Terms, m2.Terms) || m1.T != m2.T || ic1 != ic2 {
+		t.Fatalf("SelectModelCtx (%v, %v) differs from SelectModel (%v, %v)", m2.Terms, ic2, m1.Terms, ic1)
+	}
+
+	est := NewEstimator(BIC, Adaptive1000, math.Inf(1))
+	res1, err1 := est.Estimate(tb)
+	res2, err2 := est.EstimateCtx(ctx, tb)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("EstimateCtx result differs:\nctx:    %+v\nlegacy: %+v", res2, res1)
+	}
+	p1, err1 := est.EstimatePoint(tb)
+	p2, err2 := est.EstimatePointCtx(ctx, tb)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("EstimatePointCtx result differs")
+	}
+
+	fit, err := FitModel(tb, IndependenceModel(tb.T), math.Inf(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err1 := BootstrapInterval(tb, fit, math.Inf(1), 40, 0.9, 5)
+	b2, err2 := BootstrapIntervalCtx(ctx, tb, fit, math.Inf(1), 40, 0.9, 5)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b1 != b2 {
+		t.Fatalf("BootstrapIntervalCtx %+v differs from BootstrapInterval %+v", b2, b1)
+	}
+	iv1, err1 := ProfileIntervalScaled(tb, fit, math.Inf(1), 1e-7, math.Inf(1), 1)
+	iv2, err2 := ProfileIntervalScaledCtx(ctx, tb, fit, math.Inf(1), 1e-7, math.Inf(1), 1)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if iv1 != iv2 {
+		t.Fatalf("ProfileIntervalScaledCtx %+v differs from ProfileIntervalScaled %+v", iv2, iv1)
+	}
+}
+
+// TestCanceledContextAborts: a context that is dead on arrival must stop
+// every ctx-aware entry point before any work, returning its error.
+func TestCanceledContextAborts(t *testing.T) {
+	r := rng.New(31)
+	tb := sampleTable(r, 50000, []float64{0.3, 0.25, 0.2}, nil, 0)
+	fit, err := FitModel(tb, IndependenceModel(3), math.Inf(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, _, err := SelectModelCtx(ctx, tb, SelectionOptions{IC: AIC, Divisor: Fixed10, Limit: math.Inf(1)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectModelCtx err = %v, want context.Canceled", err)
+	}
+	est := NewEstimator(AIC, Fixed10, math.Inf(1))
+	if _, err := est.EstimateCtx(ctx, tb); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimateCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := est.EstimatePointCtx(ctx, tb); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimatePointCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := BootstrapIntervalCtx(ctx, tb, fit, math.Inf(1), 40, 0.9, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BootstrapIntervalCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := ProfileIntervalScaledCtx(ctx, tb, fit, math.Inf(1), 1e-7, math.Inf(1), 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ProfileIntervalScaledCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancellationStopsAtCheckpoint: cancelling partway through must stop
+// the engine at its next cooperative checkpoint — not run to completion.
+// budgetCtx flips to canceled after a handful of checkpoint polls, so a
+// successful return here would mean the search stopped consulting its
+// context mid-flight.
+func TestCancellationStopsAtCheckpoint(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(1) // serial: the checkpoint sequence is deterministic
+	r := rng.New(77)
+	tb := sampleTable(r, 250000, []float64{0.08, 0.1, 0.25, 0.2, 0.15}, []float64{0.55, 0.6, 0.27, 0.22, 0.15}, 0.3)
+
+	for _, budget := range []int64{1, 3, 8} {
+		ctx := newBudgetCtx(budget)
+		_, _, err := SelectModelCtx(ctx, tb, SelectionOptions{IC: AIC, Divisor: Fixed10, Limit: math.Inf(1)})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("budget=%d: SelectModelCtx err = %v, want context.Canceled", budget, err)
+		}
+	}
+	est := NewEstimator(AIC, Fixed10, math.Inf(1))
+	if _, err := est.EstimateCtx(newBudgetCtx(5), tb); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimateCtx err = %v, want context.Canceled", err)
+	}
+	fit, err := FitModel(tb, IndependenceModel(tb.T), math.Inf(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BootstrapIntervalCtx(newBudgetCtx(5), tb, fit, math.Inf(1), 40, 0.9, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BootstrapIntervalCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := ProfileIntervalScaledCtx(newBudgetCtx(5), tb, fit, math.Inf(1), 1e-7, math.Inf(1), 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ProfileIntervalScaledCtx err = %v, want context.Canceled", err)
 	}
 }

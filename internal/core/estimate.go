@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 )
@@ -44,16 +45,30 @@ type Result struct {
 // Estimate selects and fits a log-linear model for the table and returns
 // the population estimate with its profile-likelihood interval.
 func (e *Estimator) Estimate(tb *Table) (*Result, error) {
-	return e.estimate(tb, true)
+	return e.estimate(context.Background(), tb, true)
 }
 
 // EstimatePoint is Estimate without the profile interval, for hot loops
 // (per-stratum and cross-validation fits).
 func (e *Estimator) EstimatePoint(tb *Table) (*Result, error) {
-	return e.estimate(tb, false)
+	return e.estimate(context.Background(), tb, false)
 }
 
-func (e *Estimator) estimate(tb *Table, wantInterval bool) (*Result, error) {
+// EstimateCtx is Estimate with cooperative cancellation: the model search
+// checks ctx between stepwise rounds and candidate fits, and the profile
+// interval between likelihood evaluations. A canceled context surfaces as
+// ctx.Err(); a never-canceled context yields a result bit-identical to
+// Estimate.
+func (e *Estimator) EstimateCtx(ctx context.Context, tb *Table) (*Result, error) {
+	return e.estimate(ctx, tb, true)
+}
+
+// EstimatePointCtx is EstimatePoint with cooperative cancellation.
+func (e *Estimator) EstimatePointCtx(ctx context.Context, tb *Table) (*Result, error) {
+	return e.estimate(ctx, tb, false)
+}
+
+func (e *Estimator) estimate(ctx context.Context, tb *Table, wantInterval bool) (*Result, error) {
 	if tb == nil || tb.Observed() == 0 {
 		return nil, errors.New("core: empty table")
 	}
@@ -72,8 +87,11 @@ func (e *Estimator) estimate(tb *Table, wantInterval bool) (*Result, error) {
 		MaxTerms: e.MaxTerms,
 		MaxOrder: e.MaxOrder,
 	}
-	model, ic, err := SelectModel(work, opt)
+	model, ic, err := SelectModelCtx(ctx, work, opt)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	fit, err := FitModel(work, model, limit, 1)
@@ -97,7 +115,12 @@ func (e *Estimator) estimate(tb *Table, wantInterval bool) (*Result, error) {
 		if alpha <= 0 {
 			alpha = 1e-7
 		}
-		iv, err := ProfileIntervalScaled(work, fit, limit, alpha, limit, res.Divisor)
+		iv, err := ProfileIntervalScaledCtx(ctx, work, fit, limit, alpha, limit, res.Divisor)
+		// Numerical failures degrade to a point estimate without an
+		// interval, but a cancellation must abandon the whole request.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		if err == nil {
 			if !math.IsInf(limit, 1) && iv.Hi > limit {
 				iv.Hi = limit

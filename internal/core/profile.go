@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"ghosts/internal/stats"
@@ -82,10 +83,23 @@ func ProfileInterval(tb *Table, fit *FitResult, limit float64, alpha, upper floa
 // before profiling, widening the interval by roughly √scale to account for
 // non-random sampling.
 func ProfileIntervalScaled(tb *Table, fit *FitResult, limit float64, alpha, upper, scale float64) (Interval, error) {
+	return ProfileIntervalScaledCtx(context.Background(), tb, fit, limit, alpha, upper, scale)
+}
+
+// ProfileIntervalScaledCtx is ProfileIntervalScaled with cooperative
+// cancellation: ctx is checked before every profile-likelihood evaluation
+// (each one is a full GLM re-fit, the unit of work the search is made of),
+// so a canceled context stops the bisection within one step and returns
+// ctx.Err(). With a never-canceled context the evaluation sequence — and
+// the interval — is bit-identical to ProfileIntervalScaled.
+func ProfileIntervalScaledCtx(ctx context.Context, tb *Table, fit *FitResult, limit float64, alpha, upper, scale float64) (Interval, error) {
 	mObs := float64(tb.Observed())
 	nHat := fit.N
 	if nHat < mObs {
 		nHat = mObs
+	}
+	if err := ctx.Err(); err != nil {
+		return Interval{}, err
 	}
 	pr := newProfiler(tb, fit.Model, limit, scale)
 	llMax, err := pr.logLik(nHat - mObs)
@@ -113,6 +127,9 @@ func ProfileIntervalScaled(tb *Table, fit *FitResult, limit float64, alpha, uppe
 	} else {
 		a, b := mObs, nHat
 		for i := 0; i < 60 && b-a > 1e-6*(nHat+1); i++ {
+			if err := ctx.Err(); err != nil {
+				return Interval{}, err
+			}
 			mid := (a + b) / 2
 			if drop(mid) > crit {
 				a = mid
@@ -133,6 +150,9 @@ func ProfileIntervalScaled(tb *Table, fit *FitResult, limit float64, alpha, uppe
 	step := math.Max(nHat-mObs, 1)
 	exceeded := false
 	for i := 0; i < 60; i++ {
+		if err := ctx.Err(); err != nil {
+			return Interval{}, err
+		}
 		b = math.Min(b+step, upper)
 		if drop(b) > crit {
 			exceeded = true
@@ -148,6 +168,9 @@ func ProfileIntervalScaled(tb *Table, fit *FitResult, limit float64, alpha, uppe
 	} else {
 		a := math.Max(nHat, b-step)
 		for i := 0; i < 60 && b-a > 1e-6*(b+1); i++ {
+			if err := ctx.Err(); err != nil {
+				return Interval{}, err
+			}
 			mid := (a + b) / 2
 			if drop(mid) > crit {
 				b = mid

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/bits"
 
@@ -90,6 +91,15 @@ type SelectionOptions struct {
 // t = 9 sources, so — as with Rcapture in practice — the search is
 // stepwise; the IC and stopping rule are exactly the paper's.
 func SelectModel(tb *Table, opt SelectionOptions) (Model, float64, error) {
+	return SelectModelCtx(context.Background(), tb, opt)
+}
+
+// SelectModelCtx is SelectModel with cooperative cancellation: the search
+// checks ctx between stepwise rounds and between candidate fits (via the
+// worker pool's own checkpoints) and returns ctx.Err() once it is done.
+// With a never-canceled context the search — and the selected model, IC and
+// coefficients — is bit-identical to SelectModel.
+func SelectModelCtx(ctx context.Context, tb *Table, opt SelectionOptions) (Model, float64, error) {
 	t := tb.T
 	maxOrder := opt.MaxOrder
 	if maxOrder <= 0 || maxOrder > t-1 {
@@ -119,6 +129,11 @@ func SelectModel(tb *Table, opt SelectionOptions) (Model, float64, error) {
 	var fits []*FitResult
 	var ics []float64
 	for len(cur.Terms) < maxTerms {
+		// Cancellation checkpoint between stepwise rounds: a canceled
+		// search returns an error, never a partially-selected model.
+		if err := ctx.Err(); err != nil {
+			return Model{}, 0, err
+		}
 		// Enumerate the eligible candidate terms in ascending mask order,
 		// then fit them concurrently: each candidate fit is independent and
 		// deterministic (fixed warm start), and results land in per-index
@@ -142,7 +157,7 @@ func SelectModel(tb *Table, opt SelectionOptions) (Model, float64, error) {
 		fits = fits[:len(cands)]
 		ics = ics[:len(cands)]
 		warm := curFit.Coef
-		parallel.ForEach(len(cands), func(i int) {
+		if err := parallel.ForEachCtx(ctx, len(cands), func(i int) {
 			fits[i] = nil
 			h := cands[i]
 			cand := cur.With(h)
@@ -152,7 +167,11 @@ func SelectModel(tb *Table, opt SelectionOptions) (Model, float64, error) {
 			}
 			fits[i] = fit
 			ics[i] = icOf(tb, cand, fit, opt, d)
-		})
+		}); err != nil {
+			// Canceled mid-round: the fits slice is partially filled and
+			// must not feed the reduction.
+			return Model{}, 0, err
+		}
 		// Mask-ordered reduction: the strict < keeps the lowest mask on IC
 		// ties, exactly as the serial ascending-h scan did, so the selected
 		// model is bit-identical regardless of worker count.

@@ -1,6 +1,7 @@
 package crossval
 
 import (
+	"context"
 	"math"
 
 	"ghosts/internal/core"
@@ -33,6 +34,17 @@ func (r SourceResult) Error() float64 { return r.Est - float64(r.Truth) }
 // are independent, so they fan out over the parallel worker pool; results
 // are collected in source order, identical to a serial run.
 func Run(names []sources.Name, sets []*ipset.Set, est *core.Estimator, withCI bool) []SourceResult {
+	// A background context never cancels, so RunCtx cannot fail here.
+	out, _ := RunCtx(context.Background(), names, sets, est, withCI)
+	return out
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is checked between
+// held-out sources (and inside each source's model search and interval
+// computation), and the call returns nil results plus ctx.Err() once the
+// context is done. With a never-canceled context the results are
+// bit-identical to Run.
+func RunCtx(ctx context.Context, names []sources.Name, sets []*ipset.Set, est *core.Estimator, withCI bool) ([]SourceResult, error) {
 	k := len(sets)
 	sp := telemetry.Active().StartSpan("crossval.run")
 	defer sp.End(int64(k))
@@ -44,7 +56,7 @@ func Run(names []sources.Name, sets []*ipset.Set, est *core.Estimator, withCI bo
 	}
 	results := make([]SourceResult, k)
 	done := make([]bool, k)
-	parallel.ForEach(k, func(i int) {
+	err := parallel.ForEachCtx(ctx, k, func(i int) {
 		uni := sets[i]
 		if uni.Len() == 0 {
 			return
@@ -70,11 +82,16 @@ func Run(names []sources.Name, sets []*ipset.Set, est *core.Estimator, withCI bo
 		var r *core.Result
 		var err error
 		if withCI {
-			r, err = sub.Estimate(tb)
+			r, err = sub.EstimateCtx(ctx, tb)
 		} else {
-			r, err = sub.EstimatePoint(tb)
+			r, err = sub.EstimatePointCtx(ctx, tb)
 		}
 		if err != nil {
+			if ctx.Err() != nil {
+				// Canceled mid-estimate: the whole run fails below;
+				// recording a fallback here would fabricate a result.
+				return
+			}
 			// Degenerate table (e.g. one non-empty co-source): fall back
 			// to the observed count.
 			res.Est = float64(res.ObsAll)
@@ -85,13 +102,16 @@ func Run(names []sources.Name, sets []*ipset.Set, est *core.Estimator, withCI bo
 		results[i] = res
 		done[i] = true
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]SourceResult, 0, k)
 	for i := range results {
 		if done[i] {
 			out = append(out, results[i])
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Errors aggregates RMSE and MAE over all results (Table 3 aggregates over

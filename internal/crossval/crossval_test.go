@@ -1,6 +1,8 @@
 package crossval
 
 import (
+	"context"
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -135,5 +137,40 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	par := Run(b.Names, b.Sets, est, false)
 	if !reflect.DeepEqual(serial, par) {
 		t.Fatalf("parallel results differ from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+// TestRunCtxMatchesRun: with a live context the ctx-aware sweep must be
+// bit-identical to the legacy Run (same per-source estimates, same order).
+func TestRunCtxMatchesRun(t *testing.T) {
+	b := bundle(t)
+	est := core.NewEstimator(core.BIC, core.Adaptive1000, math.Inf(1))
+	est.MaxTerms = 3
+	est.MaxOrder = 2
+	legacy := Run(b.Names, b.Sets, est, false)
+	ctxed, err := RunCtx(context.Background(), b.Names, b.Sets, est, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, ctxed) {
+		t.Fatalf("RunCtx results differ from Run:\nctx:    %+v\nlegacy: %+v", ctxed, legacy)
+	}
+}
+
+// TestRunCtxCanceled: a dead context aborts the sweep with its error and no
+// partial results — cancellation must never fabricate per-source fallbacks.
+func TestRunCtxCanceled(t *testing.T) {
+	b := bundle(t)
+	est := core.NewEstimator(core.BIC, core.Adaptive1000, math.Inf(1))
+	est.MaxTerms = 3
+	est.MaxOrder = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := RunCtx(ctx, b.Names, b.Sets, est, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if results != nil {
+		t.Fatalf("canceled sweep returned %d results, want none", len(results))
 	}
 }

@@ -8,6 +8,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -46,7 +47,25 @@ func Workers() int {
 // results in per-index slots. A panic in any f is re-raised in the caller
 // after the pool drains, so a crashing iteration cannot leak goroutines.
 func ForEach(n int, f func(i int)) {
-	if n <= 0 {
+	forEach(context.Background(), n, f)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: workers check ctx
+// before claiming each index and stop claiming once it is done, then the
+// call returns ctx.Err(). In-flight iterations are never interrupted — the
+// checkpoint granularity is one iteration — and when ctx is never canceled
+// the iteration set, and therefore every per-index result, is identical to
+// ForEach, preserving the pool's determinism guarantee.
+func ForEachCtx(ctx context.Context, n int, f func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	forEach(ctx, n, f)
+	return ctx.Err()
+}
+
+func forEach(ctx context.Context, n int, f func(i int)) {
+	if n <= 0 || ctx.Err() != nil {
 		return
 	}
 	// When a telemetry recorder is installed, wrap every task with a
@@ -69,6 +88,9 @@ func ForEach(n int, f func(i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			f(i)
 		}
 		return
@@ -91,6 +113,9 @@ func ForEach(n int, f func(i int)) {
 				}
 			}()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

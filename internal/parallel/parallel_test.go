@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -79,5 +81,94 @@ func TestForEachNested(t *testing.T) {
 		if h != 1 {
 			t.Fatalf("pair %d hit %d times", k, h)
 		}
+	}
+}
+
+// TestForEachCtxBackgroundMatchesForEach: with a live context the ctx-aware
+// fan-out covers every index exactly once, like ForEach, at every worker
+// count — ForEach itself is defined as ForEachCtx with a background ctx.
+func TestForEachCtxBackgroundMatchesForEach(t *testing.T) {
+	defer SetWorkers(0)
+	for _, workers := range []int{1, 2, 7} {
+		SetWorkers(workers)
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]int32, n)
+			if err := ForEachCtx(context.Background(), n, func(i int) { atomic.AddInt32(&hits[i], 1) }); err != nil {
+				t.Fatalf("workers=%d n=%d: err = %v", workers, n, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachCtxNilContext: a nil ctx means "no cancellation", not a panic.
+func TestForEachCtxNilContext(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForEachCtx(nil, 4, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("ran %d of 4 tasks", ran.Load())
+	}
+}
+
+// TestForEachCtxPreCanceled: a context that is dead before the fan-out
+// starts must run zero tasks and report the context error.
+func TestForEachCtxPreCanceled(t *testing.T) {
+	defer SetWorkers(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		var ran atomic.Int32
+		err := ForEachCtx(ctx, 50, func(i int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d tasks ran on a dead context", workers, ran.Load())
+		}
+	}
+}
+
+// TestForEachCtxMidRunCancel: cancelling during the serial sweep stops the
+// loop at the next index boundary — later tasks never run.
+func TestForEachCtxMidRunCancel(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 100, func(i int) {
+		ran.Add(1)
+		if i == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("%d tasks ran, want exactly 3 (0,1,2 then stop at the checkpoint)", got)
+	}
+}
+
+// TestForEachCtxParallelCancelStopsClaiming: under parallel workers a
+// cancellation stops further index claims; the panic-free drain still
+// completes and the error surfaces.
+func TestForEachCtxParallelCancelStopsClaiming(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	if err := ForEachCtx(ctx, 1000, func(i int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran after cancellation", ran.Load())
 	}
 }

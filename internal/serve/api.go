@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -208,8 +209,12 @@ func (req *EstimateRequest) estimator() *core.Estimator {
 // Compute runs the estimator for a normalised request. It is the pure
 // compute path under the Front's cache/single-flight/admission layers; the
 // ghosts CLI's -json mode calls it directly so batch and served responses
-// share one code path.
-func Compute(req *EstimateRequest) (*EstimateResponse, error) {
+// share one code path. The engine checks ctx cooperatively — between
+// model-selection rounds, candidate fits and profile-likelihood steps — so
+// a canceled request context stops an in-flight fit within one checkpoint
+// and surfaces as ctx.Err(). With a never-canceled context the response is
+// bit-identical regardless of how ctx was constructed.
+func Compute(ctx context.Context, req *EstimateRequest) (*EstimateResponse, error) {
 	t := bits.TrailingZeros(uint(len(req.Counts)))
 	tb := core.NewTable(t)
 	copy(tb.Counts, req.Counts)
@@ -220,9 +225,9 @@ func Compute(req *EstimateRequest) (*EstimateResponse, error) {
 		err error
 	)
 	if *req.Interval {
-		res, err = est.Estimate(tb)
+		res, err = est.EstimateCtx(ctx, tb)
 	} else {
-		res, err = est.EstimatePoint(tb)
+		res, err = est.EstimatePointCtx(ctx, tb)
 	}
 	if err != nil {
 		return nil, err

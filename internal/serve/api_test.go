@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -117,7 +118,7 @@ func TestComputeDeterministic(t *testing.T) {
 		if err := req.Normalize(); err != nil {
 			t.Fatal(err)
 		}
-		resp, err := Compute(req)
+		resp, err := Compute(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestComputeEstimateShape(t *testing.T) {
 	if err := req.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := Compute(req)
+	resp, err := Compute(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestComputeNoInterval(t *testing.T) {
 	if err := req.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := Compute(req)
+	resp, err := Compute(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,8 +94,11 @@ func (c *Cache) Put(key string, val []byte) {
 }
 
 // Len returns the number of live entries (expired ones included until
-// touched).
+// touched). Like Get and Put, it is a no-op on a nil receiver.
 func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()

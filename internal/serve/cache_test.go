@@ -87,3 +87,19 @@ func TestCacheConcurrentAccess(t *testing.T) {
 		<-done
 	}
 }
+
+// TestNilCacheIsSafe: a disabled cache is represented by a nil *Cache, and
+// every method — including Len, which expvar polls — must be a no-op on it.
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *Cache
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len != 0")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.Put("k", []byte("v")) // must not panic
+	if c.Len() != 0 {
+		t.Fatal("nil cache accepted a Put")
+	}
+}

@@ -10,5 +10,12 @@
 // single-flight follower, a cold computation and the ghosts CLI's -json
 // output are byte-identical for the same request. The package also holds
 // the capped in-memory job store (Jobs) behind the async /v1/jobs API.
-// SERVING.md documents the endpoint schemas and cache/queue semantics.
+//
+// Failure containment: request contexts propagate into the engine's
+// cooperative checkpoints (a canceled request stops within one checkpoint),
+// compute failures are never cached, a follower's wait is bounded by its
+// own context rather than its leader's, and panics in the single-flight
+// leader or the job runner are recovered into PanicError values instead of
+// crashing the process. SERVING.md documents the endpoint schemas and the
+// cache/queue and failure semantics.
 package serve

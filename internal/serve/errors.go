@@ -1,0 +1,15 @@
+package serve
+
+import "fmt"
+
+// PanicError is a panic recovered on the compute path (the single-flight
+// leader or the async job runner), preserved as an error so the request
+// that triggered it — and every coalesced follower waiting on it — receives
+// a failed response instead of wedging or killing the process. The server
+// maps it to a 500 error envelope.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at the recovery point
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"ghosts/internal/telemetry"
@@ -28,9 +29,11 @@ type FrontConfig struct {
 	CacheTTL  time.Duration // result lifetime; default 15m, negative disables expiry
 	Slots     int           // concurrent computations; default 1
 	MaxQueue  int           // admission-queue depth; default 64, negative disables queueing
-	// Compute overrides the estimator invocation (tests use it to count
-	// and gate underlying fits); default is Compute.
-	Compute func(*EstimateRequest) (*EstimateResponse, error)
+	// Compute overrides the estimator invocation (tests use it to count,
+	// gate and fault-inject underlying fits); default is Compute. The
+	// context is the computing request's — implementations must honour it
+	// cooperatively.
+	Compute func(context.Context, *EstimateRequest) (*EstimateResponse, error)
 }
 
 // Front is the estimation front-end: canonical keys, result cache,
@@ -40,7 +43,7 @@ type Front struct {
 	cache   *Cache
 	flights flightGroup
 	gate    *Gate
-	compute func(*EstimateRequest) (*EstimateResponse, error)
+	compute func(context.Context, *EstimateRequest) (*EstimateResponse, error)
 }
 
 // NewFront builds a Front from cfg.
@@ -78,37 +81,53 @@ func NewFront(cfg FrontConfig) *Front {
 // fast path is a cache hit; otherwise identical concurrent requests share
 // one computation (single-flight) and computations are throttled by the
 // admission gate. The returned bytes are shared and must not be mutated.
+//
+// The request context propagates into the compute path: a canceled ctx
+// stops an in-flight fit at its next cooperative checkpoint. Failed
+// computations (including recovered panics, surfaced as *PanicError) are
+// never stored in the result cache, so a follow-up identical request
+// recomputes. A follower is not failed by the *leader's* cancellation:
+// when the leader's client vanishes mid-compute, followers whose own
+// contexts are still live retry — one of them becomes the next leader.
 func (f *Front) Estimate(ctx context.Context, req *EstimateRequest) ([]byte, Status, error) {
 	if err := req.Normalize(); err != nil {
 		return nil, "", err
 	}
 	key := req.Key()
-	if b, ok := f.cache.Get(key); ok {
-		telemetry.Active().CacheHit()
-		return b, StatusHit, nil
-	}
-	b, err, shared := f.flights.Do(key, func() ([]byte, error) {
-		if err := f.gate.Acquire(ctx); err != nil {
-			return nil, err
+	for {
+		if b, ok := f.cache.Get(key); ok {
+			telemetry.Active().CacheHit()
+			return b, StatusHit, nil
 		}
-		defer f.gate.Release()
-		telemetry.Active().CacheMiss()
-		resp, err := f.compute(req)
+		b, err, shared := f.flights.Do(ctx, key, func() ([]byte, error) {
+			if err := f.gate.Acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer f.gate.Release()
+			telemetry.Active().CacheMiss()
+			resp, err := f.compute(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			enc := resp.Encode()
+			f.cache.Put(key, enc)
+			return enc, nil
+		})
 		if err != nil {
-			return nil, err
+			if shared && ctx.Err() == nil && errors.Is(err, context.Canceled) {
+				// The leader's context died, not ours: its cancellation is
+				// an accident of queueing order, not a property of the
+				// computation. Go around again with our live context.
+				continue
+			}
+			return nil, "", err
 		}
-		enc := resp.Encode()
-		f.cache.Put(key, enc)
-		return enc, nil
-	})
-	if err != nil {
-		return nil, "", err
+		if shared {
+			telemetry.Active().CoalescedFollower()
+			return b, StatusCoalesced, nil
+		}
+		return b, StatusComputed, nil
 	}
-	if shared {
-		telemetry.Active().CoalescedFollower()
-		return b, StatusCoalesced, nil
-	}
-	return b, StatusComputed, nil
 }
 
 // AcquireSlot claims a compute slot from the admission gate for work that

@@ -18,12 +18,12 @@ type countingCompute struct {
 	gate  chan struct{} // when non-nil, compute blocks until it can receive
 }
 
-func (cc *countingCompute) fn(req *EstimateRequest) (*EstimateResponse, error) {
+func (cc *countingCompute) fn(ctx context.Context, req *EstimateRequest) (*EstimateResponse, error) {
 	cc.calls.Add(1)
 	if cc.gate != nil {
 		<-cc.gate
 	}
-	return Compute(req)
+	return Compute(ctx, req)
 }
 
 func TestFrontCacheHitByteIdentity(t *testing.T) {

@@ -39,6 +39,12 @@ func NewGate(slots, maxWait int) *Gate {
 // ErrSaturated when the queue is already maxWait deep, or ctx.Err() if the
 // context ends first. The observed queue depth is sampled into telemetry.
 func (g *Gate) Acquire(ctx context.Context) error {
+	// An already-canceled context must never be handed a slot: the
+	// buffered-channel fast path below would otherwise admit a request
+	// whose client is gone, burning a computation nobody reads.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	select {
 	case g.slots <- struct{}{}:
 		telemetry.Active().QueueSampled(0)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"ghosts/internal/telemetry"
@@ -60,8 +61,9 @@ type Job struct {
 var ErrJobsFull = errors.New("serve: job store full")
 
 // RunJobFunc executes one job. It must honour ctx promptly before starting
-// heavy work; once an experiment is running it completes (the estimation
-// engine has no preemption points), which is what shutdown drains.
+// heavy work; once an experiment sweep is running it completes (shutdown
+// drains it rather than preempting it). A panic inside the function is
+// recovered by the runner and recorded as a failed job.
 type RunJobFunc func(ctx context.Context, spec JobSpec) (JobResult, error)
 
 type jobRec struct {
@@ -129,10 +131,23 @@ func (j *Jobs) Submit(spec JobSpec) (Job, error) {
 			return
 		}
 		j.setState(rec, JobRunning)
-		res, err := j.run(j.ctx, rec.spec)
+		res, err := j.runContained(rec.spec)
 		j.finish(rec, res, err)
 	}()
 	return snap, nil
+}
+
+// runContained executes the job function with panic containment: a panic
+// in an experiment becomes a failed job (its snapshot carries the panic
+// message) instead of killing the process, and the panic counter ticks.
+func (j *Jobs) runContained(spec JobSpec) (res JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			telemetry.Active().PanicRecovered()
+			res, err = JobResult{}, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return j.run(j.ctx, spec)
 }
 
 // Get returns a snapshot of the job with the given id.

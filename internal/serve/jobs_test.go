@@ -3,8 +3,11 @@ package serve
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
+
+	"ghosts/internal/telemetry"
 )
 
 func waitFor(t *testing.T, what string, cond func() bool) {
@@ -149,4 +152,46 @@ func TestJobStoreFull(t *testing.T) {
 	}
 	close(block)
 	js.Drain()
+}
+
+// TestJobPanicContained: a panic inside an experiment must become a failed
+// job whose snapshot carries the panic message — not kill the process or
+// leak the runner goroutine — and the panic counter must tick. The store
+// keeps accepting and completing jobs afterwards.
+func TestJobPanicContained(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+	defer telemetry.Disable()
+
+	js := NewJobs(4, func(ctx context.Context, spec JobSpec) (JobResult, error) {
+		if spec.Experiment == "boom" {
+			panic("injected: experiment exploded")
+		}
+		return JobResult{Output: "ok"}, nil
+	})
+	bad, err := js.Submit(JobSpec{Experiment: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js.Drain() // must return: the panic may not wedge the runner
+
+	snap, ok := js.Get(bad.ID)
+	if !ok || snap.State != JobFailed {
+		t.Fatalf("panicking job state = %q, want %q", snap.State, JobFailed)
+	}
+	if !strings.Contains(snap.Error, "panic") || !strings.Contains(snap.Error, "exploded") {
+		t.Fatalf("job error %q does not describe the panic", snap.Error)
+	}
+	if got := rec.Panics.Load(); got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+
+	good, err := js.Submit(JobSpec{Experiment: "fine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js.Drain()
+	if snap, _ := js.Get(good.ID); snap.State != JobDone || snap.Output != "ok" {
+		t.Fatalf("store unhealthy after contained panic: %+v", snap)
+	}
 }

@@ -1,8 +1,12 @@
 package serve
 
 import (
+	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"ghosts/internal/telemetry"
 )
 
 // flightGroup deduplicates concurrent calls by key: the first caller (the
@@ -10,6 +14,12 @@ import (
 // follower) blocks and receives the leader's result. This is the
 // single-flight layer between the result cache and the admission gate —
 // a burst of identical requests costs exactly one model fit.
+//
+// Failure domains are contained: a panic in fn is recovered and delivered
+// to the leader and every follower as a *PanicError (the key is always
+// removed and the done channel always closed, so no caller can wedge), and
+// a follower whose own context ends stops waiting immediately with its
+// ctx.Err() instead of being held hostage by a slow leader.
 type flightGroup struct {
 	mu      sync.Mutex
 	m       map[string]*flightCall
@@ -23,8 +33,10 @@ type flightCall struct {
 }
 
 // Do runs fn for key, coalescing concurrent duplicates. shared reports
-// whether the result was produced by another caller's invocation.
-func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+// whether the result was produced by another caller's invocation — it is
+// also true when a follower gave up on its own canceled context, in which
+// case err is that context's error, not the leader's outcome.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
@@ -32,19 +44,36 @@ func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		g.waiters.Add(1)
-		<-c.done
-		g.waiters.Add(-1)
-		return c.val, c.err, true
+		defer g.waiters.Add(-1)
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			// The follower's own request is gone; return promptly and
+			// leave the leader to finish (its result still lands in the
+			// cache for whoever asks next).
+			return nil, ctx.Err(), true
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
+	func() {
+		// Cleanup is deferred so it runs even when fn panics: the key is
+		// removed and done is closed no matter how fn exits, so no current
+		// or future caller for this key can block forever.
+		defer func() {
+			if r := recover(); r != nil {
+				c.val, c.err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+				telemetry.Active().PanicRecovered()
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
 	return c.val, c.err, false
 }

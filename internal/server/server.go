@@ -25,6 +25,12 @@ import (
 // 65536 cells, comfortably under 4 MiB of JSON.
 const maxBodyBytes = 4 << 20
 
+// statusClientClosedRequest is nginx's 499: the client went away before
+// the response was ready. There is no standard code for it; 499 is the
+// de-facto convention and keeps cancellations distinct from server faults
+// in logs and metrics.
+const statusClientClosedRequest = 499
+
 // Config assembles a Server. Zero values select defaults.
 type Config struct {
 	Front   *serve.Front // required: the estimation front-end
@@ -36,6 +42,11 @@ type Config struct {
 	// requests; default 30s. Job draining is not subject to it — running
 	// jobs always complete.
 	DrainTimeout time.Duration
+	// ComputeTimeout, when positive, bounds each estimate request's
+	// compute (queueing included): past it the engine stops at its next
+	// cooperative checkpoint and the request fails with 504. Zero means
+	// no per-request deadline.
+	ComputeTimeout time.Duration
 	// Recorder, when set, is published as the live "telemetry" expvar.
 	Recorder *telemetry.Recorder
 	// Log receives one line per lifecycle event; default os.Stderr.
@@ -45,14 +56,15 @@ type Config struct {
 // Server wires the serve front-end and job store into an http.Handler and
 // owns readiness and graceful shutdown.
 type Server struct {
-	mux          *http.ServeMux
-	front        *serve.Front
-	jobs         *serve.Jobs
-	ready        atomic.Bool
-	addr         atomic.Value // string; set once Run is listening
-	drainTimeout time.Duration
-	log          io.Writer
-	start        time.Time
+	mux            *http.ServeMux
+	front          *serve.Front
+	jobs           *serve.Jobs
+	ready          atomic.Bool
+	addr           atomic.Value // string; set once Run is listening
+	drainTimeout   time.Duration
+	computeTimeout time.Duration
+	log            io.Writer
+	start          time.Time
 }
 
 // New builds a Server from cfg.
@@ -61,11 +73,12 @@ func New(cfg Config) *Server {
 		cfg.Front = serve.NewFront(serve.FrontConfig{})
 	}
 	s := &Server{
-		mux:          http.NewServeMux(),
-		front:        cfg.Front,
-		drainTimeout: cfg.DrainTimeout,
-		log:          cfg.Log,
-		start:        time.Now(),
+		mux:            http.NewServeMux(),
+		front:          cfg.Front,
+		drainTimeout:   cfg.DrainTimeout,
+		computeTimeout: cfg.ComputeTimeout,
+		log:            cfg.Log,
+		start:          time.Now(),
 	}
 	if s.drainTimeout <= 0 {
 		s.drainTimeout = 30 * time.Second
@@ -196,25 +209,46 @@ func (s *Server) runExperimentJob(ctx context.Context, spec serve.JobSpec) (serv
 	return serve.JobResult{Output: buf.String(), Data: data}, nil
 }
 
-// instrument wraps a handler with the request counter, latency histogram
-// and per-route phase emission.
+// instrument wraps a handler with the request counter, latency histogram,
+// per-route phase emission — and the outermost panic barrier: a panic that
+// escapes a handler (or the response encoder) is recovered, counted, and
+// converted into a 500 error envelope when the response has not started,
+// so one bad request cannot take the process down.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rv := recover(); rv != nil {
+				telemetry.Active().PanicRecovered()
+				fmt.Fprintf(s.log, "ghostsd: panic in %s handler: %v\n", route, rv)
+				sw.status = http.StatusInternalServerError
+				if !sw.wrote {
+					s.writeError(sw, http.StatusInternalServerError, "internal_panic",
+						"internal error (recovered panic): %v", rv)
+				}
+			}
+			telemetry.Active().HTTPDone(route, time.Since(t0), sw.status >= 400)
+		}()
 		h(sw, r)
-		telemetry.Active().HTTPDone(route, time.Since(t0), sw.status >= 400)
 	}
 }
 
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool // response started; headers can no longer change
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // errorEnvelope is the uniform error body.
@@ -263,23 +297,45 @@ func decodeJSON(r *http.Request, v any) error {
 // cache / single-flight / admission front-end. The response bytes come
 // back pre-encoded so every production path emits identical bytes; the
 // X-Ghosts-Cache header says which path ran (hit, miss, coalesced).
+//
+// The request context (plus the optional compute deadline) propagates all
+// the way into the engine's cooperative checkpoints. Failure mapping: a
+// vanished client is 499 (nginx convention), a compute deadline is 504, a
+// recovered compute panic is 500 — each with its own telemetry counter.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req serve.EstimateRequest
 	if err := decodeJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "invalid_json", "decoding request: %v", err)
 		return
 	}
-	body, status, err := s.front.Estimate(r.Context(), &req)
+	ctx := r.Context()
+	if s.computeTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.computeTimeout)
+		defer cancel()
+	}
+	body, status, err := s.front.Estimate(ctx, &req)
 	if err != nil {
 		var reqErr *serve.RequestError
+		var panicErr *serve.PanicError
 		switch {
 		case errors.As(err, &reqErr):
 			s.writeError(w, http.StatusBadRequest, "invalid_request", "%s", reqErr.Error())
+		case errors.As(err, &panicErr):
+			s.writeError(w, http.StatusInternalServerError, "internal_panic",
+				"estimation aborted: %v", panicErr)
 		case errors.Is(err, serve.ErrSaturated):
 			w.Header().Set("Retry-After", "1")
 			s.writeError(w, http.StatusServiceUnavailable, "saturated", "admission queue full, retry later")
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			s.writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled: %v", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			telemetry.Active().RequestTimedOut()
+			s.writeError(w, http.StatusGatewayTimeout, "compute_timeout",
+				"estimate exceeded the compute deadline (%v)", s.computeTimeout)
+		case errors.Is(err, context.Canceled):
+			telemetry.Active().RequestCanceled()
+			// Best-effort: the client is usually gone; the envelope is for
+			// proxies and logs.
+			s.writeError(w, statusClientClosedRequest, "client_closed_request", "request canceled: %v", err)
 		default:
 			s.writeError(w, http.StatusUnprocessableEntity, "estimation_failed", "%v", err)
 		}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ghosts/internal/serve"
+	"ghosts/internal/telemetry"
 )
 
 // estimateBody is the canonical test request: three sources with healthy
@@ -92,7 +93,7 @@ func TestEstimateByteIdentity(t *testing.T) {
 	if err := req.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	cliResp, err := serve.Compute(&req)
+	cliResp, err := serve.Compute(context.Background(), &req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,10 +109,10 @@ func TestEstimateSingleFlightOverHTTP(t *testing.T) {
 	var fits atomic.Int64
 	gate := make(chan struct{})
 	front := serve.NewFront(serve.FrontConfig{
-		Compute: func(req *serve.EstimateRequest) (*serve.EstimateResponse, error) {
+		Compute: func(ctx context.Context, req *serve.EstimateRequest) (*serve.EstimateResponse, error) {
 			fits.Add(1)
 			<-gate
-			return serve.Compute(req)
+			return serve.Compute(ctx, req)
 		},
 	})
 	_, ts := newTestServer(t, Config{Front: front})
@@ -198,10 +199,10 @@ func TestEstimateSheddingWhenSaturated(t *testing.T) {
 	front := serve.NewFront(serve.FrontConfig{
 		Slots:    1,
 		MaxQueue: -1, // no waiting room: second distinct request sheds
-		Compute: func(req *serve.EstimateRequest) (*serve.EstimateResponse, error) {
+		Compute: func(ctx context.Context, req *serve.EstimateRequest) (*serve.EstimateResponse, error) {
 			started <- struct{}{}
 			<-release
-			return serve.Compute(req)
+			return serve.Compute(ctx, req)
 		},
 	})
 	_, ts := newTestServer(t, Config{Front: front})
@@ -458,5 +459,177 @@ func TestMethodNotAllowed(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/estimate status %d, want 405", resp.StatusCode)
+	}
+}
+
+// errCode decodes the uniform error envelope and returns its code.
+func errCode(t *testing.T, b []byte) string {
+	t.Helper()
+	var env struct {
+		Kind  string `json:"kind"`
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatalf("error body is not JSON: %s", b)
+	}
+	if env.Kind != "error" {
+		t.Fatalf("kind = %q, want error (%s)", env.Kind, b)
+	}
+	return env.Error.Code
+}
+
+// TestEstimatePanicIsContained: a compute panic surfaces as a 500 with the
+// internal_panic code, ticks the panic counter, and — the important part —
+// leaves the server fully able to serve the next request.
+func TestEstimatePanicIsContained(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+	defer telemetry.Disable()
+
+	var calls atomic.Int64
+	front := serve.NewFront(serve.FrontConfig{
+		Compute: func(ctx context.Context, req *serve.EstimateRequest) (*serve.EstimateResponse, error) {
+			if calls.Add(1) == 1 {
+				panic("injected: fit exploded")
+			}
+			return serve.Compute(ctx, req)
+		},
+	})
+	_, ts := newTestServer(t, Config{Front: front})
+
+	resp, b := postJSON(t, ts.URL+"/v1/estimate", estimateBody)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 (%s)", resp.StatusCode, b)
+	}
+	if code := errCode(t, b); code != "internal_panic" {
+		t.Fatalf("error code = %q, want internal_panic", code)
+	}
+	if got := rec.Panics.Load(); got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+	// The process survived, the failure was not cached: retry succeeds.
+	resp, b = postJSON(t, ts.URL+"/v1/estimate", estimateBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic status %d, want 200 (%s)", resp.StatusCode, b)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("%d compute calls, want 2 (panic + fresh compute)", got)
+	}
+}
+
+// TestEstimateComputeTimeout: with -compute-timeout set, a compute that
+// honours its context but never finishes yields 504 compute_timeout and
+// ticks the timeout counter.
+func TestEstimateComputeTimeout(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+	defer telemetry.Disable()
+
+	front := serve.NewFront(serve.FrontConfig{
+		Compute: func(ctx context.Context, req *serve.EstimateRequest) (*serve.EstimateResponse, error) {
+			<-ctx.Done() // a cooperative engine checkpoint would do the same
+			return nil, ctx.Err()
+		},
+	})
+	_, ts := newTestServer(t, Config{Front: front, ComputeTimeout: 50 * time.Millisecond})
+
+	resp, b := postJSON(t, ts.URL+"/v1/estimate", estimateBody)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, b)
+	}
+	if code := errCode(t, b); code != "compute_timeout" {
+		t.Fatalf("error code = %q, want compute_timeout", code)
+	}
+	if got := rec.RequestsTimedOut.Load(); got != 1 {
+		t.Fatalf("timeout counter = %d, want 1", got)
+	}
+}
+
+// TestEstimateClientCancel499: when the request's own context dies before
+// the compute finishes, the handler records the 499 envelope (for proxies
+// and logs) and the cancellation counter ticks.
+func TestEstimateClientCancel499(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+	defer telemetry.Disable()
+
+	started := make(chan struct{})
+	front := serve.NewFront(serve.FrontConfig{
+		Compute: func(ctx context.Context, req *serve.EstimateRequest) (*serve.EstimateResponse, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	s := New(Config{Front: front, Log: io.Discard})
+	t.Cleanup(func() { s.jobs.BeginShutdown(); s.jobs.Drain() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/estimate", strings.NewReader(estimateBody)).WithContext(ctx)
+	rr := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Handler().ServeHTTP(rr, req)
+	}()
+	<-started
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler never returned after cancellation")
+	}
+	if rr.Code != statusClientClosedRequest {
+		t.Fatalf("status %d, want 499 (%s)", rr.Code, rr.Body.Bytes())
+	}
+	if code := errCode(t, rr.Body.Bytes()); code != "client_closed_request" {
+		t.Fatalf("error code = %q, want client_closed_request", code)
+	}
+	if got := rec.RequestsCanceled.Load(); got != 1 {
+		t.Fatalf("cancellation counter = %d, want 1", got)
+	}
+}
+
+// TestInstrumentPanicBarrier exercises the outermost containment layer
+// directly: a panic escaping any handler is recovered by instrument, turned
+// into a 500 envelope when the response has not started, and counted.
+func TestInstrumentPanicBarrier(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+	defer telemetry.Disable()
+
+	s := New(Config{Log: io.Discard})
+	t.Cleanup(func() { s.jobs.BeginShutdown(); s.jobs.Drain() })
+	h := s.instrument("boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("injected: handler panic")
+	})
+	rr := httptest.NewRecorder()
+	h(rr, httptest.NewRequest("GET", "/boom", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rr.Code)
+	}
+	if code := errCode(t, rr.Body.Bytes()); code != "internal_panic" {
+		t.Fatalf("error code = %q, want internal_panic", code)
+	}
+	if got := rec.Panics.Load(); got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+
+	// When the response already started, the barrier must not try to write
+	// a second status line — it only records and counts.
+	rr2 := httptest.NewRecorder()
+	h2 := s.instrument("late", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial"))
+		panic("injected: after first byte")
+	})
+	h2(rr2, httptest.NewRequest("GET", "/late", nil))
+	if rr2.Code != http.StatusOK || rr2.Body.String() != "partial" {
+		t.Fatalf("started response was rewritten: %d %q", rr2.Code, rr2.Body.String())
+	}
+	if got := rec.Panics.Load(); got != 2 {
+		t.Fatalf("panic counter = %d, want 2", got)
 	}
 }

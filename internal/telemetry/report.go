@@ -89,6 +89,9 @@ type ServeReport struct {
 	QueueDepth     HistogramSnapshot `json:"queue_depth"`
 	JobsRun        int64             `json:"jobs_run"`
 	JobsFailed     int64             `json:"jobs_failed"`
+	Panics         int64             `json:"panics"`
+	Canceled       int64             `json:"canceled"`
+	TimedOut       int64             `json:"timed_out"`
 }
 
 // PhaseReport is one named pipeline phase (metric prefix phase).
@@ -159,6 +162,9 @@ func (r *Recorder) Report(started, finished time.Time, workers int) *Report {
 		QueueDepth:     r.QueueDepth.Snapshot(),
 		JobsRun:        r.JobsRun.Load(),
 		JobsFailed:     r.JobsFailed.Load(),
+		Panics:         r.Panics.Load(),
+		Canceled:       r.RequestsCanceled.Load(),
+		TimedOut:       r.RequestsTimedOut.Load(),
 	}
 	for _, name := range r.phaseNames() {
 		p := r.phase(name)

@@ -40,6 +40,10 @@ func populate() *Recorder {
 	r.QueueSampled(3)
 	r.JobFinished(true)
 	r.JobFinished(false)
+	r.PanicRecovered()
+	r.RequestCanceled()
+	r.RequestCanceled()
+	r.RequestTimedOut()
 	return r
 }
 
@@ -143,7 +147,10 @@ const goldenReport = `{
       ]
     },
     "jobs_run": 2,
-    "jobs_failed": 1
+    "jobs_failed": 1,
+    "panics": 1,
+    "canceled": 2,
+    "timed_out": 1
   },
   "phases": [
     {

@@ -193,6 +193,12 @@ type Recorder struct {
 	JobsRun        Counter   // async jobs that reached a terminal state
 	JobsFailed     Counter   // async jobs that ended in failure or cancellation
 
+	// Failure containment (single-flight leader, job runner, HTTP
+	// middleware; estimate handler error mapping).
+	Panics           Counter // panics recovered and converted to failed responses
+	RequestsCanceled Counter // estimates abandoned because the client went away (499)
+	RequestsTimedOut Counter // estimates that hit the compute deadline (504)
+
 	mu     sync.Mutex
 	phases map[string]*Phase
 }
@@ -347,6 +353,34 @@ func (r *Recorder) QueueSampled(waiting int) {
 		return
 	}
 	r.QueueDepth.Observe(int64(waiting))
+}
+
+// PanicRecovered records a panic caught by one of the serving path's
+// recovery points (single-flight leader, job runner, HTTP middleware)
+// instead of crashing or wedging the process.
+func (r *Recorder) PanicRecovered() {
+	if r == nil {
+		return
+	}
+	r.Panics.Inc()
+}
+
+// RequestCanceled records an estimate abandoned on its own context's
+// cancellation (the client disconnected or shutdown interrupted it).
+func (r *Recorder) RequestCanceled() {
+	if r == nil {
+		return
+	}
+	r.RequestsCanceled.Inc()
+}
+
+// RequestTimedOut records an estimate that exceeded the per-request
+// compute deadline.
+func (r *Recorder) RequestTimedOut() {
+	if r == nil {
+		return
+	}
+	r.RequestsTimedOut.Inc()
 }
 
 // JobFinished records one async job reaching a terminal state; ok is false

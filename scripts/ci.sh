@@ -24,6 +24,13 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
+echo "== deadlock smoke =="
+# Bounded-time regression net for the single-flight leader-panic deadlock:
+# coalesced bursts with injected leader panics must fully complete — every
+# waiter released, the key freed — inside a hard wall-clock budget. The
+# -timeout turns any reintroduced deadlock into a loud failure, not a hang.
+go test -race -run 'TestDeadlockSmoke' -count=1 -timeout 90s ./internal/serve
+
 echo "== ghostsd smoke =="
 # Build the daemon, boot it on a random port, hit the health probe and one
 # estimate, then check it shuts down cleanly on SIGTERM (exit 0).
