@@ -215,6 +215,61 @@ func BenchmarkFigure12(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------- microbenchmarks
+
+// BenchmarkSelectModel isolates the stepwise model search — the dominant
+// consumer of GLM fits — on the nine-source end-of-study table, so
+// kernel-level changes (the lattice IRLS path, warm starts) show up
+// directly in the snapshot diffs instead of being averaged into a whole
+// experiment.
+func BenchmarkSelectModel(b *testing.B) {
+	e := env(b)
+	bundle := e.Bundle(10, dataset.DefaultOptions())
+	tb := core.TableFromSets(bundle.Sets, bundle.NameStrings())
+	opt := core.SelectionOptions{
+		IC: core.BIC, Divisor: core.Adaptive1000,
+		Limit: float64(bundle.RoutedAddrs), MaxTerms: 3, MaxOrder: 2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _, err := core.SelectModel(tb, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.NumParams()), "params")
+	}
+}
+
+// BenchmarkProfileInterval isolates one profile-likelihood interval on the
+// selected end-of-study model: dozens of pinned-cell refits per interval,
+// the workload the profiler's warm starts and the lattice Cell0 path serve.
+func BenchmarkProfileInterval(b *testing.B) {
+	e := env(b)
+	bundle := e.Bundle(10, dataset.DefaultOptions())
+	tb := core.TableFromSets(bundle.Sets, bundle.NameStrings())
+	limit := float64(bundle.RoutedAddrs)
+	opt := core.SelectionOptions{
+		IC: core.BIC, Divisor: core.Adaptive1000,
+		Limit: limit, MaxTerms: 3, MaxOrder: 2,
+	}
+	m, _, err := core.SelectModel(tb, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fit, err := core.FitModel(tb, m, limit, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iv, err := core.ProfileInterval(tb, fit, limit, 1e-7, limit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(iv.Hi-iv.Lo, "width")
+	}
+}
+
 // --------------------------------------------------------------- ablations
 
 // BenchmarkAblationDivisor compares end-of-study estimates across the

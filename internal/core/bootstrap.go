@@ -8,6 +8,7 @@ import (
 
 	"ghosts/internal/parallel"
 	"ghosts/internal/rng"
+	"ghosts/internal/stats"
 	"ghosts/internal/telemetry"
 )
 
@@ -36,22 +37,26 @@ func BootstrapIntervalCtx(ctx context.Context, tb *Table, fit *FitResult, limit 
 	}
 	sp := telemetry.Active().StartSpan("core.bootstrap")
 	defer sp.End(int64(b))
-	// Fitted cell means from the model's coefficients.
-	refit, err := FitModel(tb, fit.Model, limit, 1)
+	// Fitted cell means from the model's coefficients. fit already carries
+	// the divisor-1 maximiser in the engine's calling pattern, so the refit
+	// warm-starts from fit.Coef and typically converges in one iteration
+	// instead of repeating the whole cold fit.
+	refit, err := fitModelInit(tb, fit.Model, limit, 1, fit.Coef)
 	if err != nil {
 		return Interval{}, err
 	}
-	x := fit.Model.design()
-	lambdas := make([]float64, x.Rows)
-	for i := range lambdas {
-		eta := 0.0
-		for j, v := range x.Row(i) {
-			eta += v * refit.Coef[j]
-		}
+	// λ̂ per observable cell via the subset-sum identity η = Xβ (the design
+	// is the capture-history subset indicator — see stats.Lattice).
+	nCells := 1 << uint(fit.Model.T)
+	etas := make([]float64, nCells)
+	stats.LatticeEta(fit.Model.T, fit.Model.ColumnMasks(), refit.Coef, etas)
+	lambdas := make([]float64, nCells-1)
+	for s := 1; s < nCells; s++ {
+		eta := etas[s]
 		if eta > 30 {
 			eta = 30
 		}
-		lambdas[i] = math.Exp(eta)
+		lambdas[s-1] = math.Exp(eta)
 	}
 	// Derive one generator per replicate up front (rng.Split), so each
 	// replicate's stream is fixed by (seed, rep) and the fan-out is

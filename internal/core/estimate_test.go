@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ghosts/internal/rng"
+	"ghosts/internal/telemetry"
 )
 
 func TestEstimateRecoversTruth(t *testing.T) {
@@ -142,6 +143,34 @@ func TestEstimateStratifiedAllEmpty(t *testing.T) {
 	_, err := est.EstimateStratified([]StratumTable{{Label: "x", Table: NewTable(2)}}, 0)
 	if err == nil {
 		t.Fatal("all-empty strata should fail")
+	}
+}
+
+// TestProfileIntervalWarmStartTelemetry: the bisection's evaluations must
+// run on the lattice kernel and warm-start from one another — the saved
+// Fisher iterations (cold-evaluation count minus each warm evaluation's)
+// land in the WarmStartSaved counter.
+func TestProfileIntervalWarmStartTelemetry(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+	defer telemetry.Disable()
+	r := rng.New(41)
+	tb := sampleTable(r, 80000, []float64{0.3, 0.25, 0.2}, nil, 0)
+	fit, err := FitModel(tb, IndependenceModel(3), math.Inf(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProfileInterval(tb, fit, math.Inf(1), 1e-7, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.LatticeFits.Load(); got == 0 {
+		t.Fatal("profile evaluations did not use the lattice kernel")
+	}
+	if got := rec.DenseFallbacks.Load(); got != 0 {
+		t.Fatalf("profile evaluations fell back to the dense kernel %d times", got)
+	}
+	if got := rec.WarmStartSaved.Load(); got == 0 {
+		t.Fatal("warm-started profile evaluations saved no Fisher iterations")
 	}
 }
 

@@ -80,6 +80,24 @@ func TermName(h int) string {
 	return string(append(out, '}'))
 }
 
+// ColumnMasks returns the design's column masks in design order: the
+// intercept (mask 0), the t main effects (single bits), then the
+// interaction terms. Column j of the design is the subset indicator
+// x[s][j] = 1 iff mask_j ⊆ s — exactly the structure stats.Lattice
+// exploits, so this is the bridge between a Model and the lattice kernel.
+func (m Model) ColumnMasks() []int { return m.appendColumnMasks(nil) }
+
+// appendColumnMasks writes the column masks into dst (reusing its backing
+// array) and returns it.
+func (m Model) appendColumnMasks(dst []int) []int {
+	dst = dst[:0]
+	dst = append(dst, 0)
+	for i := 0; i < m.T; i++ {
+		dst = append(dst, 1<<uint(i))
+	}
+	return append(dst, m.Terms...)
+}
+
 // designCache memoises design matrices per model. The stepwise search, the
 // profile-interval bisection and the bootstrap all refit the same few
 // models over and over; the matrix depends only on (T, Terms), is
@@ -157,12 +175,14 @@ type FitResult struct {
 }
 
 // fitScratch bundles the per-goroutine buffers of one model fit: the GLM
-// workspace plus the response and truncation vectors. Pooled so the
-// stepwise search and the experiment fan-outs stop allocating them per fit.
+// workspace plus the response, truncation and column-mask vectors. Pooled
+// so the stepwise search and the experiment fan-outs stop allocating them
+// per fit.
 type fitScratch struct {
 	ws     stats.Workspace
 	y      []float64
 	limits []float64
+	masks  []int
 }
 
 var fitPool = sync.Pool{New: func() any {
@@ -181,16 +201,58 @@ func FitModel(tb *Table, m Model, limit float64, scale float64) (*FitResult, err
 
 // fitModelInit is FitModel with warm-start coefficients in design order;
 // the stepwise search passes the parent model's coefficients with a zero
-// inserted for the new term.
+// inserted for the new term. Fits route through the lattice (zeta
+// transform) kernel — the CR design is always a subset indicator over the
+// capture-history lattice — falling back to the dense row-major kernel for
+// the rare shape the lattice kernel rejects (e.g. more columns than
+// observable cells at tiny t).
 func fitModelInit(tb *Table, m Model, limit float64, scale float64, init []float64) (*FitResult, error) {
 	if scale < 1 {
 		scale = 1
 	}
-	x := m.design()
-	n := x.Rows
 	telemetry.Active().PoolGet()
 	sc := fitPool.Get().(*fitScratch)
 	defer fitPool.Put(sc)
+	sc.masks = m.appendColumnMasks(sc.masks)
+	ld := stats.Lattice{T: m.T, Masks: sc.masks}
+	if ld.Validate() != nil {
+		telemetry.Active().DenseFallback()
+		return fitModelDense(tb, m, limit, scale, init, sc)
+	}
+	n := 1 << uint(m.T)
+	if cap(sc.y) < n {
+		sc.y = make([]float64, n)
+	}
+	y := sc.y[:n]
+	y[0] = 0
+	for s := 1; s < n; s++ {
+		y[s] = float64(tb.Counts[s]) / scale
+	}
+	var limits []float64
+	if !math.IsInf(limit, 1) {
+		if cap(sc.limits) < n {
+			sc.limits = make([]float64, n)
+		}
+		limits = sc.limits[:n]
+		l := math.Floor(limit / scale)
+		for i := range limits {
+			limits[i] = l
+		}
+	}
+	res, err := ld.Fit(y, limits, init, &sc.ws)
+	if err != nil {
+		return nil, err
+	}
+	return fitResultFrom(tb, m, res, scale), nil
+}
+
+// fitModelDense is the dense-kernel fallback path: it materialises the
+// design matrix and runs the row-major IRLS kernel. Kept for designs the
+// lattice kernel rejects and as the reference implementation the
+// differential tests compare against.
+func fitModelDense(tb *Table, m Model, limit float64, scale float64, init []float64, sc *fitScratch) (*FitResult, error) {
+	x := m.design()
+	n := x.Rows
 	if cap(sc.y) < n {
 		sc.y = make([]float64, n)
 	}
@@ -213,6 +275,11 @@ func fitModelInit(tb *Table, m Model, limit float64, scale float64, init []float
 	if err != nil {
 		return nil, err
 	}
+	return fitResultFrom(tb, m, res, scale), nil
+}
+
+// fitResultFrom wraps a kernel result into a FitResult.
+func fitResultFrom(tb *Table, m Model, res *stats.GLMResult, scale float64) *FitResult {
 	z0 := math.Exp(res.Coef[0]) * scale
 	return &FitResult{
 		Model:     m,
@@ -221,5 +288,5 @@ func fitModelInit(tb *Table, m Model, limit float64, scale float64, init []float
 		Z0:        z0,
 		N:         float64(tb.Observed()) + z0,
 		Converged: res.Converged,
-	}, nil
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ghosts/internal/stats"
+	"ghosts/internal/telemetry"
 )
 
 // Interval is a profile-likelihood interval for the population size N̂. As
@@ -22,34 +23,49 @@ type Interval struct {
 // divided by scale — the paper's divisor heuristic — which widens the
 // likelihood region to reflect that the sampling is far from
 // Poisson-random (§3.3.3: the interval is "merely a useful heuristic
-// indication"). The bisection evaluates the profile dozens of times per
-// interval, so the extended design, response vector and GLM workspace are
-// built once and reused across evaluations.
+// indication"). The unobserved cell's design row is the intercept alone,
+// which is exactly lattice cell 0, so the profile fit is the lattice
+// kernel with Cell0 set; the dense extended-design path remains as the
+// fallback for designs the lattice kernel rejects. The bisection evaluates
+// the profile dozens of times per interval, so the vectors and GLM
+// workspace are built once and reused, and each evaluation warm-starts
+// from the previous one's coefficients — adjacent bisection points have
+// nearly identical maximisers.
 type profiler struct {
-	x      stats.Matrix // model design extended with the unobserved-cell row
-	y      []float64    // y[0] is rewritten per evaluation
+	ld     stats.Lattice // Cell0 profile lattice (when dense is nil)
+	dense  stats.Matrix  // extended design, fallback path only
+	y      []float64     // cell-indexed; y[0] is rewritten per evaluation
 	limits []float64
 	scale  float64
 	ws     stats.Workspace
+
+	warm      []float64 // previous evaluation's coefficients (nil on the first)
+	coldIters int       // iteration count of the cold first evaluation
 }
 
 func newProfiler(tb *Table, m Model, limit float64, scale float64) *profiler {
 	if scale < 1 {
 		scale = 1
 	}
-	base := m.design()
-	p := base.Cols
-	// Row 0 is the unobserved cell: intercept only.
-	x := stats.NewMatrix(base.Rows+1, p)
-	x.Row(0)[0] = 1
-	copy(x.Data[p:], base.Data)
-	pr := &profiler{x: x, scale: scale}
-	pr.y = make([]float64, x.Rows)
+	pr := &profiler{scale: scale}
+	pr.ld = stats.Lattice{T: m.T, Masks: m.ColumnMasks(), Cell0: true}
+	n := 1 << uint(m.T)
+	if pr.ld.Validate() != nil {
+		telemetry.Active().DenseFallback()
+		base := m.design()
+		p := base.Cols
+		// Row 0 is the unobserved cell: intercept only.
+		pr.dense = stats.NewMatrix(base.Rows+1, p)
+		pr.dense.Row(0)[0] = 1
+		copy(pr.dense.Data[p:], base.Data)
+		n = pr.dense.Rows
+	}
+	pr.y = make([]float64, n)
 	for s := 1; s < len(tb.Counts); s++ {
 		pr.y[s] = float64(tb.Counts[s]) / scale
 	}
 	if !math.IsInf(limit, 1) {
-		pr.limits = make([]float64, x.Rows)
+		pr.limits = make([]float64, n)
 		l := math.Floor(limit / scale)
 		for i := range pr.limits {
 			pr.limits[i] = l
@@ -59,13 +75,25 @@ func newProfiler(tb *Table, m Model, limit float64, scale float64) *profiler {
 }
 
 // logLik evaluates the profile log-likelihood with the unobserved cell
-// pinned to n0.
+// pinned to n0, warm-starting from the previous evaluation's maximiser.
 func (pr *profiler) logLik(n0 float64) (float64, error) {
 	pr.y[0] = n0 / pr.scale
-	res, err := stats.FitPoissonGLMFlat(pr.x, pr.y, pr.limits, nil, &pr.ws)
+	var res *stats.GLMResult
+	var err error
+	if pr.dense.Rows > 0 {
+		res, err = stats.FitPoissonGLMFlat(pr.dense, pr.y, pr.limits, pr.warm, &pr.ws)
+	} else {
+		res, err = pr.ld.Fit(pr.y, pr.limits, pr.warm, &pr.ws)
+	}
 	if err != nil {
 		return 0, err
 	}
+	if pr.warm == nil {
+		pr.coldIters = res.Iterations
+	} else {
+		telemetry.Active().WarmStartSavedIters(pr.coldIters - res.Iterations)
+	}
+	pr.warm = res.Coef
 	return res.LogLik, nil
 }
 

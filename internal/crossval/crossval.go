@@ -54,6 +54,14 @@ func RunCtx(ctx context.Context, names []sources.Name, sets []*ipset.Set, est *c
 			pingIdx = i
 		}
 	}
+	// One joint capture histogram over all k sets replaces the per-held-out
+	// Intersect + rescan: every per-source table, ping overlap and truth is
+	// a fold over it (see foldTable). One pass over the address bitmaps
+	// instead of k passes of k−1 intersections each.
+	var joint []int64
+	if k >= 2 && k <= 16 {
+		joint = ipset.CaptureHistogram(sets)
+	}
 	results := make([]SourceResult, k)
 	done := make([]bool, k)
 	err := parallel.ForEachCtx(ctx, k, func(i int) {
@@ -61,16 +69,26 @@ func RunCtx(ctx context.Context, names []sources.Name, sets []*ipset.Set, est *c
 		if uni.Len() == 0 {
 			return
 		}
-		restricted := make([]*ipset.Set, 0, k-1)
-		for j := 0; j < k; j++ {
-			if j != i {
-				restricted = append(restricted, ipset.Intersect(sets[j], uni))
-			}
-		}
-		tb := core.TableFromSets(restricted, nil)
+		var tb *core.Table
 		res := SourceResult{Name: names[i], Truth: int64(uni.Len())}
-		if pingIdx >= 0 && pingIdx != i {
-			res.ObsPing = int64(ipset.IntersectCount(sets[pingIdx], uni))
+		if joint != nil {
+			tb = foldTable(joint, k, i)
+			if pingIdx >= 0 && pingIdx != i {
+				res.ObsPing = foldOverlap(joint, 1<<uint(i)|1<<uint(pingIdx))
+			}
+		} else {
+			// k outside CaptureHistogram's range: build each held-out table
+			// by materialised intersection, as the fold's reference shape.
+			restricted := make([]*ipset.Set, 0, k-1)
+			for j := 0; j < k; j++ {
+				if j != i {
+					restricted = append(restricted, ipset.Intersect(sets[j], uni))
+				}
+			}
+			tb = core.TableFromSets(restricted, nil)
+			if pingIdx >= 0 && pingIdx != i {
+				res.ObsPing = int64(ipset.IntersectCount(sets[pingIdx], uni))
+			}
 		}
 		res.ObsAll = tb.Observed()
 		// The universe size itself bounds the population: the estimator's
@@ -112,6 +130,43 @@ func RunCtx(ctx context.Context, names []sources.Name, sets []*ipset.Set, est *c
 		}
 	}
 	return out, nil
+}
+
+// foldTable builds the contingency table of the k−1 sources other than i,
+// restricted to source i's address set, from the joint k-source capture
+// histogram. An address of the universe (history f with bit i set) is seen
+// by co-source subset h = f with bit i deleted and the higher bits shifted
+// down one; h = 0 — addresses only the held-out source saw — stay out of
+// the table, exactly as addresses absent from every intersected set never
+// reach TableFromSets. The folded table is therefore cell-for-cell
+// identical to the one built from materialised intersections.
+func foldTable(joint []int64, k, i int) *core.Table {
+	tb := core.NewTable(k - 1)
+	bitI := 1 << uint(i)
+	low := bitI - 1
+	for f := bitI; f < len(joint); f++ {
+		if f&bitI == 0 || joint[f] == 0 {
+			continue
+		}
+		h := f&low | f>>1&^low
+		if h != 0 {
+			tb.Counts[h] += joint[f]
+		}
+	}
+	return tb
+}
+
+// foldOverlap returns the number of addresses whose capture history
+// contains every source in mask — for mask = {i, ping} this is
+// |sets[i] ∩ sets[ping]| without materialising the intersection.
+func foldOverlap(joint []int64, mask int) int64 {
+	var n int64
+	for f := mask; f < len(joint); f++ {
+		if f&mask == mask {
+			n += joint[f]
+		}
+	}
+	return n
 }
 
 // Errors aggregates RMSE and MAE over all results (Table 3 aggregates over

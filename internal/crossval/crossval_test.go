@@ -9,7 +9,10 @@ import (
 
 	"ghosts/internal/core"
 	"ghosts/internal/dataset"
+	"ghosts/internal/ipset"
+	"ghosts/internal/ipv4"
 	"ghosts/internal/parallel"
+	"ghosts/internal/rng"
 	"ghosts/internal/sources"
 	"ghosts/internal/universe"
 	"ghosts/internal/windows"
@@ -173,4 +176,148 @@ func TestRunCtxCanceled(t *testing.T) {
 	if results != nil {
 		t.Fatalf("canceled sweep returned %d results, want none", len(results))
 	}
+}
+
+// legacySourceRun reproduces the pre-fold construction for one held-out
+// source: materialised intersections of every co-source with the universe,
+// TableFromSets over them, and IntersectCount for the ping overlap. The
+// fold path must be result-identical to it.
+func legacySourceRun(names []sources.Name, sets []*ipset.Set, est *core.Estimator, i, pingIdx int) (SourceResult, bool) {
+	uni := sets[i]
+	if uni.Len() == 0 {
+		return SourceResult{}, false
+	}
+	restricted := make([]*ipset.Set, 0, len(sets)-1)
+	for j := range sets {
+		if j != i {
+			restricted = append(restricted, ipset.Intersect(sets[j], uni))
+		}
+	}
+	tb := core.TableFromSets(restricted, nil)
+	res := SourceResult{Name: names[i], Truth: int64(uni.Len())}
+	if pingIdx >= 0 && pingIdx != i {
+		res.ObsPing = int64(ipset.IntersectCount(sets[pingIdx], uni))
+	}
+	res.ObsAll = tb.Observed()
+	sub := *est
+	if sub.Limit <= 0 || sub.Limit > float64(uni.Len()) {
+		sub.Limit = float64(uni.Len())
+	}
+	r, err := sub.EstimatePoint(tb)
+	if err != nil {
+		res.Est = float64(res.ObsAll)
+	} else {
+		res.Est = r.N
+	}
+	return res, true
+}
+
+// randomOverlapSets builds k sets with a rich overlap structure: each of a
+// pool of addresses joins each set with its own probability, so every
+// capture history is populated.
+func randomOverlapSets(seed uint64, k, pool int) []*ipset.Set {
+	r := rng.New(seed)
+	sets := make([]*ipset.Set, k)
+	probs := make([]float64, k)
+	for j := range sets {
+		sets[j] = ipset.New()
+		probs[j] = 0.15 + 0.6*r.Float64()
+	}
+	for a := 0; a < pool; a++ {
+		addr := ipv4.Addr(0x0a000000 + uint32(r.Intn(1<<14)))
+		for j := range sets {
+			if r.Float64() < probs[j] {
+				sets[j].Add(addr)
+			}
+		}
+	}
+	return sets
+}
+
+// TestFoldTableMatchesSetConstruction: for every held-out source the folded
+// joint histogram must yield the cell-for-cell identical table, ping
+// overlap and truth as materialised intersections — across k = 2..7 and
+// several random overlap structures.
+func TestFoldTableMatchesSetConstruction(t *testing.T) {
+	for k := 2; k <= 7; k++ {
+		for trial := 0; trial < 3; trial++ {
+			sets := randomOverlapSets(uint64(1000*k+trial), k, 3000)
+			joint := ipset.CaptureHistogram(sets)
+			for i := 0; i < k; i++ {
+				uni := sets[i]
+				restricted := make([]*ipset.Set, 0, k-1)
+				for j := 0; j < k; j++ {
+					if j != i {
+						restricted = append(restricted, ipset.Intersect(sets[j], uni))
+					}
+				}
+				want := core.TableFromSets(restricted, nil)
+				got := foldTable(joint, k, i)
+				if !reflect.DeepEqual(want.Counts, got.Counts) {
+					t.Fatalf("k=%d trial=%d held-out=%d: folded counts %v != set-based %v", k, trial, i, got.Counts, want.Counts)
+				}
+				var truth int64
+				for f := range joint {
+					if f&(1<<uint(i)) != 0 {
+						truth += joint[f]
+					}
+				}
+				if truth != int64(uni.Len()) {
+					t.Fatalf("k=%d held-out=%d: folded truth %d != |universe| %d", k, i, truth, uni.Len())
+				}
+				for p := 0; p < k; p++ {
+					if p == i {
+						continue
+					}
+					want := int64(ipset.IntersectCount(sets[p], uni))
+					if got := foldOverlap(joint, 1<<uint(i)|1<<uint(p)); got != want {
+						t.Fatalf("k=%d held-out=%d overlap with %d: fold %d != intersect %d", k, i, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunMatchesSetBasedConstruction pins the full cross-validation output
+// — every SourceResult field — to the set-based construction, on both the
+// simulated dataset bundle and synthetic random-overlap sets.
+func TestRunMatchesSetBasedConstruction(t *testing.T) {
+	est := core.NewEstimator(core.BIC, core.Adaptive1000, math.Inf(1))
+	est.MaxTerms = 3
+	est.MaxOrder = 2
+
+	check := func(t *testing.T, names []sources.Name, sets []*ipset.Set) {
+		t.Helper()
+		got := Run(names, sets, est, false)
+		pingIdx := -1
+		for i, n := range names {
+			if n == sources.IPING {
+				pingIdx = i
+			}
+		}
+		want := make([]SourceResult, 0, len(sets))
+		for i := range sets {
+			if r, ok := legacySourceRun(names, sets, est, i, pingIdx); ok {
+				want = append(want, r)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("fold-based run differs from set-based construction:\nfold: %+v\nsets: %+v", got, want)
+		}
+	}
+
+	b := bundle(t)
+	t.Run("bundle", func(t *testing.T) { check(t, b.Names, b.Sets) })
+	t.Run("synthetic", func(t *testing.T) {
+		sets := randomOverlapSets(99, 5, 4000)
+		names := []sources.Name{sources.WIKI, sources.SPAM, sources.IPING, sources.WEB, sources.GAME}
+		check(t, names, sets)
+	})
+	t.Run("empty-source-skipped", func(t *testing.T) {
+		sets := randomOverlapSets(7, 4, 2000)
+		sets[2] = ipset.New()
+		names := []sources.Name{sources.WIKI, sources.SPAM, sources.MLAB, sources.WEB}
+		check(t, names, sets)
+	})
 }

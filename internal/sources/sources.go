@@ -161,33 +161,85 @@ func (s *Suite) Collect(n Name, w windows.Window, routed *trie.Trie) Observation
 
 // CollectAll runs every source over the window in a single pass over the
 // ground-truth population; the per-source sets are bit-identical to what
-// nine separate Collect calls would produce.
+// nine separate Collect calls would produce. It rides the universe's trait
+// enumerator: the per-address primitives (activation, class, activity,
+// probe responses) are hashed once and shared by all nine sources, the
+// window-active fraction comes straight from the enumerated activation
+// year, and each source's per-/24 visibility gate is evaluated once per
+// /24 instead of once per address. Every sampling decision is the same
+// keyed hash of (seed, source, window, address) Collect draws, so the
+// output sets are identical bit for bit.
 func (s *Suite) CollectAll(w windows.Window, routed *trie.Trie) []Observation {
 	names := All()
 	type srcState struct {
-		sp   spec
-		frac float64
-		key  uint64
-		out  *ipset.Set
+		sp     spec
+		frac   float64
+		key    uint64
+		visKey uint64  // per-(source,/24) visibility gate stream
+		vis    float64 // gate threshold (spec.vis, 0 meaning 1)
+		vis24  bool    // gate value for the /24 currently enumerated
+		out    *ipset.Set
 	}
 	states := make([]srcState, len(names))
 	for i, n := range names {
 		sp := specs[n]
+		vis := sp.vis
+		if vis <= 0 {
+			vis = 1
+		}
 		states[i] = srcState{
-			sp:   sp,
-			frac: availFraction(sp, w),
-			key:  s.Seed ^ hashName(n) ^ uint64(w.End.Unix()),
-			out:  ipset.New(),
+			sp:     sp,
+			frac:   availFraction(sp, w),
+			key:    s.Seed ^ hashName(n) ^ uint64(w.End.Unix()),
+			visKey: s.Seed ^ hashName(n) ^ 0x24a7,
+			vis:    vis,
+			out:    ipset.New(),
 		}
 	}
-	s.U.RangeUsed(w.End, func(a ipv4.Addr, _ float64) bool {
-		af := s.U.ActiveFraction(a, w.Start, w.End)
+	ys, ye := universe.YearOf(w.Start), universe.YearOf(w.End)
+	cur24 := ^uint32(0)
+	s.U.RangeUsedTraits(w.End, func(a ipv4.Addr, tr *universe.AddrTraits) bool {
+		// Active fraction from the enumerated activation year — the same
+		// branches as Universe.ActiveFraction, without re-deriving the year.
+		var af float64
+		switch {
+		case tr.Activation >= ye:
+			af = 0
+		case tr.Activation <= ys:
+			af = 1
+		default:
+			af = (ye - tr.Activation) / (ye - ys)
+		}
+		if k := a.Slash24Index(); k != cur24 {
+			cur24 = k
+			for i := range states {
+				st := &states[i]
+				if !st.sp.census && st.frac > 0 {
+					st.vis24 = hash01(st.visKey, uint64(k)) < st.vis
+				}
+			}
+		}
 		for i := range states {
 			st := &states[i]
 			if st.frac == 0 {
 				continue
 			}
-			if hash01(st.key, uint64(a)) < s.seenProb(names[i], st.sp, a, st.frac, af) {
+			var p float64
+			if st.sp.census {
+				var responds bool
+				if names[i] == IPING {
+					responds = tr.RespICMP || tr.RespUnreach
+				} else {
+					responds = !tr.FwRSTBlock &&
+						(tr.RespTCP80 || (!tr.RespICMP && tr.RespUnreach))
+				}
+				if responds {
+					p = st.frac * (0.25 + 0.75*af) * (1 - s.Loss)
+				}
+			} else if st.vis24 {
+				p = tr.ObservableBy(st.sp.rate*st.frac, st.sp.clientBias, af)
+			}
+			if p > 0 && hash01(st.key, uint64(a)) < p {
 				st.out.Add(a)
 			}
 		}

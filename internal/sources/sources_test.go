@@ -287,3 +287,25 @@ func TestGameCollectionGap(t *testing.T) {
 		t.Errorf("gap window availability = %v, want in (0.5, 1)", gapFrac)
 	}
 }
+
+// TestCollectAllMatchesCollectAllSources: the trait-based single-pass
+// CollectAll must stay bit-identical to per-source Collect for every one of
+// the nine sources — passive, netflow and census alike — including with
+// routed filtering disabled.
+func TestCollectAllMatchesCollectAllSources(t *testing.T) {
+	f := fix(t)
+	for _, rt := range []*trie.Trie{f.rt, nil} {
+		batch := map[Name]*ipset.Set{}
+		for _, o := range f.suite.CollectAll(f.w, rt) {
+			batch[o.Name] = o.Addrs
+		}
+		for _, n := range All() {
+			single := f.suite.Collect(n, f.w, rt).Addrs
+			b := batch[n]
+			if single.Len() != b.Len() || ipset.IntersectCount(single, b) != b.Len() {
+				t.Fatalf("%s (routed=%v): Collect (%d) differs from CollectAll (%d)",
+					n, rt != nil, single.Len(), b.Len())
+			}
+		}
+	}
+}

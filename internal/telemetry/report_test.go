@@ -15,6 +15,10 @@ func populate() *Recorder {
 	r := NewRecorder()
 	r.FitDone(3, true)
 	r.FitDone(5, false)
+	r.LatticeFit()
+	r.DenseFallback()
+	r.WarmStartSavedIters(6)
+	r.WarmStartSavedIters(0) // no-op: nothing saved
 	for i := 0; i < 8; i++ {
 		r.PoolGet()
 	}
@@ -56,6 +60,9 @@ const goldenReport = `{
   "glm_fit": {
     "count": 2,
     "non_converged": 1,
+    "lattice_fits": 1,
+    "dense_fallbacks": 1,
+    "warm_start_iters_saved": 6,
     "iterations": {
       "count": 2,
       "sum": 8,

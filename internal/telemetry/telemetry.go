@@ -155,10 +155,13 @@ type Phase struct {
 //
 // OBSERVABILITY.md documents each metric's name, unit and emission point.
 type Recorder struct {
-	// GLM kernel (stats.FitPoissonGLMFlat).
+	// GLM kernel (stats.FitPoissonGLMFlat, stats.Lattice.Fit).
 	Fits            Counter   // completed Fisher-scoring fits
 	FitIters        Histogram // iterations per fit
 	FitNonConverged Counter   // fits that hit the iteration cap or stalled
+	LatticeFits     Counter   // fits served by the zeta-transform lattice kernel
+	DenseFallbacks  Counter   // engine fits routed to the dense kernel instead
+	WarmStartSaved  Counter   // Fisher iterations saved by warm-started profile evals
 
 	// Fit scratch pool (core fit path).
 	PoolGets   Counter // scratch checkouts
@@ -216,6 +219,34 @@ func (r *Recorder) FitDone(iterations int, converged bool) {
 	if !converged {
 		r.FitNonConverged.Inc()
 	}
+}
+
+// LatticeFit records a fit served by the lattice (zeta-transform) kernel.
+func (r *Recorder) LatticeFit() {
+	if r == nil {
+		return
+	}
+	r.LatticeFits.Inc()
+}
+
+// DenseFallback records an engine fit that could not use the lattice
+// kernel and ran the dense row-major path instead.
+func (r *Recorder) DenseFallback() {
+	if r == nil {
+		return
+	}
+	r.DenseFallbacks.Inc()
+}
+
+// WarmStartSavedIters records Fisher iterations avoided because a profile
+// evaluation warm-started from the previous bisection step's coefficients
+// (the first, cold evaluation's iteration count minus this one's, floored
+// at zero).
+func (r *Recorder) WarmStartSavedIters(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.WarmStartSaved.Add(int64(n))
 }
 
 // PoolGet records one fit-scratch checkout.

@@ -45,19 +45,28 @@ func (u *Universe) addrActivationYear(p *profile, a ipv4.Addr) float64 {
 	if t24 == neverYear {
 		return neverYear
 	}
+	dyn := u.hash01(h24Dynamic, uint64(key24)) < p.dynFrac
+	return u.addrActivationWith(p, a, t24, u.slash24Density(key24), dyn)
+}
+
+// addrActivationWith is addrActivationYear with the per-/24 quantities —
+// activation year t24, density d24, dynamic-pool membership dyn —
+// precomputed, so bulk enumerators pay for them once per /24 instead of
+// once per address.
+func (u *Universe) addrActivationWith(p *profile, a ipv4.Addr, t24, d24 float64, dyn bool) float64 {
 	h := u.hash01(hAddrActivate, uint64(a))
 	// Dynamic pools cycle through essentially every address within months
 	// of the pool going live (§4.6: over a 12-month window all pool
 	// addresses are touched and count as de-facto used), and draw leases
 	// uniformly, so the last-byte shape is flat for them.
-	if u.hash01(h24Dynamic, uint64(key24)) < p.dynFrac {
+	if dyn {
 		const poolFill = 0.96
 		if h >= poolFill {
 			return neverYear
 		}
 		return t24 + 1.5*(h/poolFill) // the pool fills over ~18 months
 	}
-	thr := p.density * u.slash24Density(key24) * lastByteWeight[a.LastByte()]
+	thr := p.density * d24 * lastByteWeight[a.LastByte()]
 	if thr > 1 {
 		thr = 1
 	}
@@ -153,13 +162,15 @@ func (u *Universe) rangeUsedIn(pfx ipv4.Prefix, t time.Time, fn func(ipv4.Addr, 
 			if t24 > yt {
 				continue
 			}
+			d24 := u.slash24Density(key)
+			dyn := u.hash01(h24Dynamic, uint64(key)) < p.dynFrac
 			base := ipv4.Addr(key << 8)
 			for b := 0; b < 256; b++ {
 				a := base + ipv4.Addr(b)
 				if a < lo || a > hi {
 					continue
 				}
-				ta := u.addrActivationYear(p, a)
+				ta := u.addrActivationWith(p, a, t24, d24, dyn)
 				if ta > yt {
 					continue
 				}
@@ -206,8 +217,14 @@ func (u *Universe) Class(a ipv4.Addr) DeviceClass {
 	if idx >= 0 {
 		ind = u.Reg.Allocs[idx].Industry
 	}
+	return u.classWith(a, &classMix[ind])
+}
+
+// classWith is the positional-convention-free part of Class with the
+// industry mix row already resolved (bulk enumerators hold it per
+// allocation). The caller handles the .1/.254 Router convention.
+func (u *Universe) classWith(a ipv4.Addr, cum *[4]float64) DeviceClass {
 	h := u.hash01(hAddrClass, uint64(a))
-	cum := classMix[ind]
 	switch {
 	case h < cum[0]:
 		return Router
@@ -223,8 +240,9 @@ func (u *Universe) Class(a ipv4.Addr) DeviceClass {
 }
 
 // classMix holds cumulative class probabilities (Router, Server, Client,
-// NATGateway; remainder Specialised) per industry.
-var classMix = map[registry.Industry][4]float64{
+// NATGateway; remainder Specialised) per industry, indexed by
+// registry.Industry.
+var classMix = [...][4]float64{
 	registry.ISP:        {0.02, 0.05, 0.50, 0.95},
 	registry.Corporate:  {0.05, 0.35, 0.85, 0.93},
 	registry.Education:  {0.05, 0.30, 0.90, 0.95},

@@ -336,3 +336,93 @@ func BenchmarkIsUsedAt(b *testing.B) {
 		u.IsUsedAt(ipv4.Addr(uint32(i)*2654435761), at)
 	}
 }
+
+// TestRangeUsedTraitsMatchesAccessors: the bulk trait enumerator must visit
+// exactly the RangeUsed address sequence and every trait field must equal
+// the corresponding one-off accessor — the fast collection path is only
+// valid because these are the same keyed-hash draws.
+func TestRangeUsedTraitsMatchesAccessors(t *testing.T) {
+	u := tiny(t)
+	at := date(2014, 1, 1)
+	ws, we := date(2013, 1, 1), date(2014, 1, 1)
+	type rec struct {
+		a  ipv4.Addr
+		tr AddrTraits
+	}
+	var got []rec
+	u.RangeUsedTraits(at, func(a ipv4.Addr, tr *AddrTraits) bool {
+		got = append(got, rec{a, *tr})
+		return true
+	})
+	if len(got) == 0 {
+		t.Fatal("no used addresses enumerated")
+	}
+	i := 0
+	u.RangeUsed(at, func(a ipv4.Addr, activation float64) bool {
+		if i >= len(got) {
+			t.Fatalf("traits enumeration stopped after %d addresses, RangeUsed has more", len(got))
+		}
+		r := got[i]
+		i++
+		if r.a != a {
+			t.Fatalf("address #%d: traits %v != RangeUsed %v", i-1, r.a, a)
+		}
+		if r.tr.Activation != activation {
+			t.Fatalf("%v: activation %v != RangeUsed %v", a, r.tr.Activation, activation)
+		}
+		return true
+	})
+	if i != len(got) {
+		t.Fatalf("traits enumerated %d addresses, RangeUsed %d", len(got), i)
+	}
+	for _, r := range got {
+		a, tr := r.a, r.tr
+		if y, ok := u.ActivationYear(a); !ok || tr.Activation != y {
+			t.Fatalf("%v: Activation %v != ActivationYear %v (ok=%v)", a, tr.Activation, y, ok)
+		}
+		if tr.Class != u.Class(a) {
+			t.Fatalf("%v: Class %v != %v", a, tr.Class, u.Class(a))
+		}
+		if tr.Activity != u.Activity(a) {
+			t.Fatalf("%v: Activity %v != %v", a, tr.Activity, u.Activity(a))
+		}
+		if tr.Dynamic != u.IsDynamic(a) {
+			t.Fatalf("%v: Dynamic %v != %v", a, tr.Dynamic, u.IsDynamic(a))
+		}
+		if tr.Shielded != u.Shielded24(a) {
+			t.Fatalf("%v: Shielded %v != %v", a, tr.Shielded, u.Shielded24(a))
+		}
+		if tr.FirewallDrop != u.FirewallDrop(a) {
+			t.Fatalf("%v: FirewallDrop %v != %v", a, tr.FirewallDrop, u.FirewallDrop(a))
+		}
+		if tr.RespICMP != u.RespondsICMP(a) {
+			t.Fatalf("%v: RespICMP %v != %v", a, tr.RespICMP, u.RespondsICMP(a))
+		}
+		if tr.RespTCP80 != u.RespondsTCP80(a) {
+			t.Fatalf("%v: RespTCP80 %v != %v", a, tr.RespTCP80, u.RespondsTCP80(a))
+		}
+		if tr.RespUnreach != u.RespondsUnreachable(a) {
+			t.Fatalf("%v: RespUnreach %v != %v", a, tr.RespUnreach, u.RespondsUnreachable(a))
+		}
+		if tr.FwRSTBlock != u.FirewallRSTBlock(a) {
+			t.Fatalf("%v: FwRSTBlock %v != %v", a, tr.FwRSTBlock, u.FirewallRSTBlock(a))
+		}
+		if p, q := tr.ObservableBy(1.2, 0.8, 0.5), u.ObservableBy(a, 1.2, 0.8, 0.5); p != q {
+			t.Fatalf("%v: traits ObservableBy %v != accessor %v", a, p, q)
+		}
+		af := u.ActiveFraction(a, ws, we)
+		ys, ye := YearOf(ws), YearOf(we)
+		var want float64
+		switch {
+		case tr.Activation >= ye:
+			want = 0
+		case tr.Activation <= ys:
+			want = 1
+		default:
+			want = (ye - tr.Activation) / (ye - ys)
+		}
+		if af != want {
+			t.Fatalf("%v: ActiveFraction %v != activation-derived %v", a, af, want)
+		}
+	}
+}

@@ -77,8 +77,8 @@ const (
 // firewall silently drops every probe: whole subnets invisible to active
 // measurement, regardless of what is inside. This is what creates
 // /24-level ghosts — used subnets no census can see (§6.3: even the /24
-// estimate exceeds the observed count).
-var shieldFrac = map[registry.Industry]float64{
+// estimate exceeds the observed count). Indexed by registry.Industry.
+var shieldFrac = [...]float64{
 	registry.ISP:        0.06,
 	registry.Corporate:  0.30,
 	registry.Education:  0.12,
@@ -157,9 +157,17 @@ func (u *Universe) ObservableBy(a ipv4.Addr, rate, clientBias, frac float64) flo
 	if frac <= 0 {
 		return 0
 	}
-	act := u.Activity(a)
+	return observableWith(u.Activity(a), u.Class(a), u.IsDynamic(a), rate, clientBias, frac)
+}
+
+// observableWith is ObservableBy with the per-address primitives already in
+// hand — the shared core of the accessor above and AddrTraits.ObservableBy.
+func observableWith(act float64, cls DeviceClass, dyn bool, rate, clientBias, frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
 	classWeight := 1.0
-	switch u.Class(a) {
+	switch cls {
 	case Client:
 		classWeight = clientBias
 	case NATGateway:
@@ -174,7 +182,7 @@ func (u *Universe) ObservableBy(a ipv4.Addr, rate, clientBias, frac float64) flo
 	// Dynamic-pool addresses rotate through many subscribers over a long
 	// window, so a pool address is *more* likely to show up in a
 	// client-side log than a static single-host address (§4.6).
-	if u.IsDynamic(a) {
+	if dyn {
 		classWeight *= 1 + 0.8*clientBias
 	}
 	p := rate * act * classWeight * frac

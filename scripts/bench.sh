@@ -16,7 +16,17 @@ cd "$(dirname "$0")/.."
 
 PATTERN="${1:-.}"
 BENCHTIME="${2:-1x}"
-OUT="BENCH_$(date +%Y-%m-%d).json"
+# No-clobber naming: never overwrite an existing snapshot (same-day reruns
+# get a .2/.3/... suffix) — the previous snapshot is the baseline the
+# regression diff below compares against.
+STEM="BENCH_$(date +%Y-%m-%d)"
+OUT="$STEM.json"
+N=2
+while [ -e "$OUT" ]; do
+    OUT="$STEM.$N.json"
+    N=$((N + 1))
+done
+STEM="${OUT%.json}"
 TXT="$(mktemp)"
 cleanup() {
     [ -n "${SERVEPID:-}" ] && kill "$SERVEPID" 2>/dev/null || true
@@ -46,8 +56,46 @@ END { print "\n]" }
 
 echo "wrote $OUT"
 
+# Diff the two newest snapshots: flag every benchmark whose ns/op regressed
+# by more than 15%. Informational by default (a regression needs a justified
+# review, not a hidden one); set GHOSTS_BENCH_STRICT=1 to make it fatal.
+PREV="$(ls -t BENCH_*.json 2>/dev/null | grep -v -e '\.telemetry\.json$' -e '\.serve\.json$' | sed -n 2p || true)"
+if [ -n "$PREV" ]; then
+    if ! awk -v prevfile="$PREV" -v curfile="$OUT" '
+        function load(file, tgt,    line, name, ns) {
+            while ((getline line < file) > 0) {
+                if (match(line, /"name": "[^"]+"/)) {
+                    name = substr(line, RSTART + 9, RLENGTH - 10)
+                    if (match(line, /"ns\/op": [0-9.e+]+/)) {
+                        ns = substr(line, RSTART + 9, RLENGTH - 9) + 0
+                        tgt[name] = ns
+                    }
+                }
+            }
+            close(file)
+        }
+        BEGIN {
+            load(prevfile, p); load(curfile, c)
+            bad = 0
+            for (n in c) {
+                if (!(n in p) || p[n] <= 0) continue
+                r = c[n] / p[n]
+                if (r > 1.15) {
+                    printf("REGRESSION %s: %.0f -> %.0f ns/op (+%.1f%%)\n", n, p[n], c[n], 100 * (r - 1))
+                    bad = 1
+                }
+            }
+            if (!bad) print "no >15% ns/op regressions vs " prevfile
+            exit bad
+        }'; then
+        if [ -n "${GHOSTS_BENCH_STRICT:-}" ]; then
+            exit 1
+        fi
+    fi
+fi
+
 if [ -z "${GHOSTS_BENCH_NO_TELEMETRY:-}" ]; then
-    TELEMETRY="BENCH_$(date +%Y-%m-%d).telemetry.json"
+    TELEMETRY="$STEM.telemetry.json"
     go run ./cmd/ghosts -exp summary -scale tiny -metrics "$TELEMETRY" > /dev/null
 fi
 
@@ -57,7 +105,7 @@ fi
 # (request/latency histograms, cache hit counts — see OBSERVABILITY.md).
 # Set GHOSTS_BENCH_NO_SERVE=1 to skip it.
 if [ -z "${GHOSTS_BENCH_NO_SERVE:-}" ]; then
-    SERVEOUT="BENCH_$(date +%Y-%m-%d).serve.json"
+    SERVEOUT="$STEM.serve.json"
     SERVEDIR="$(mktemp -d)"
     SERVELOG="$SERVEDIR/ghostsd.log"
     go build -o "$SERVEDIR/ghostsd" ./cmd/ghostsd

@@ -24,6 +24,13 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
+echo "== lattice/dense differential (-race) =="
+# The lattice IRLS kernel must agree with the dense reference kernel to
+# tolerance on every design shape (DESIGN.md §8): the differential property
+# tests are the licence for routing all engine fits through the lattice
+# path, so they run as their own named gate, race-enabled and uncached.
+go test -race -count=1 -run 'TestLattice|TestMoments' ./internal/stats
+
 echo "== deadlock smoke =="
 # Bounded-time regression net for the single-flight leader-panic deadlock:
 # coalesced bursts with injected leader panics must fully complete — every
