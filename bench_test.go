@@ -24,6 +24,7 @@ import (
 	"ghosts/internal/dataset"
 	"ghosts/internal/experiments"
 	"ghosts/internal/sources"
+	"ghosts/internal/strata"
 	"ghosts/internal/universe"
 )
 
@@ -268,6 +269,42 @@ func BenchmarkProfileInterval(b *testing.B) {
 		}
 		b.ReportMetric(iv.Hi-iv.Lo, "width")
 	}
+}
+
+// BenchmarkStratSeries isolates the stratified-sweep table-building paths
+// on the end-of-study window: the one-pass labelled histogram fold versus
+// the dense Split path that materialises per-stratum sets and folds each
+// (DESIGN.md §8.2). The series sub-benchmark runs the whole
+// eleven-window per-stratum estimation through the dense reference, so
+// the end-to-end sweep cost stays visible in snapshots even though the
+// figures hit the env cache.
+func BenchmarkStratSeries(b *testing.B) {
+	e := env(b)
+	bundle := e.Bundle(10, dataset.DefaultOptions())
+	lt := e.LabelTable(strata.ByPrefix)
+	b.Run("fold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hs := strata.CaptureHistograms(lt, bundle.Sets)
+			n := 0
+			hs.Range(func(string, []int64) bool { n++; return true })
+			b.ReportMetric(float64(n), "strata")
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			split := strata.Split(e.U, bundle.Sets, strata.ByPrefix)
+			for _, group := range split {
+				core.TableFromSets(group, nil)
+			}
+			b.ReportMetric(float64(len(split)), "strata")
+		}
+	})
+	b.Run("series", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			series := e.StratSeriesDense(strata.ByPrefix, false)
+			b.ReportMetric(float64(len(series[len(series)-1])), "strata-last")
+		}
+	})
 }
 
 // --------------------------------------------------------------- ablations

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math"
+
+	"ghosts/internal/telemetry"
 )
 
 // Estimator bundles the model-selection and fitting configuration used
@@ -68,9 +70,32 @@ func (e *Estimator) EstimatePointCtx(ctx context.Context, tb *Table) (*Result, e
 	return e.estimate(ctx, tb, false)
 }
 
+// EstimateSweep is Estimate for sweeps over adjacent tables (consecutive
+// observation windows): it returns the final fit alongside the result so
+// the caller can hand it back as warm for the next table. When warm is
+// non-nil and its model equals the one selected for tb, the final IRLS fit
+// seeds from warm's coefficients instead of the flat default — model
+// selection itself is never warm-started across tables, so the selected
+// model (and hence which path runs) is unaffected. Pass warm=nil for the
+// first table of a sweep.
+func (e *Estimator) EstimateSweep(tb *Table, warm *FitResult) (*Result, *FitResult, error) {
+	return e.estimateFull(context.Background(), tb, true, warm)
+}
+
+// EstimateSweepPoint is EstimateSweep without the profile interval, for
+// the per-stratum series loops.
+func (e *Estimator) EstimateSweepPoint(tb *Table, warm *FitResult) (*Result, *FitResult, error) {
+	return e.estimateFull(context.Background(), tb, false, warm)
+}
+
 func (e *Estimator) estimate(ctx context.Context, tb *Table, wantInterval bool) (*Result, error) {
+	res, _, err := e.estimateFull(ctx, tb, wantInterval, nil)
+	return res, err
+}
+
+func (e *Estimator) estimateFull(ctx context.Context, tb *Table, wantInterval bool, warm *FitResult) (*Result, *FitResult, error) {
 	if tb == nil || tb.Observed() == 0 {
-		return nil, errors.New("core: empty table")
+		return nil, nil, errors.New("core: empty table")
 	}
 	work := tb
 	if t2, _ := tb.DropEmptySources(); t2 != tb {
@@ -89,14 +114,19 @@ func (e *Estimator) estimate(ctx context.Context, tb *Table, wantInterval bool) 
 	}
 	model, ic, err := SelectModelCtx(ctx, work, opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	fit, err := FitModel(work, model, limit, 1)
+	var init []float64
+	if warm != nil && warm.Converged && warm.Model.Equal(model) && len(warm.Coef) == model.NumParams() {
+		init = warm.Coef
+		telemetry.Active().SweepWarmStart()
+	}
+	fit, err := fitModelInit(work, model, limit, 1, init)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := fit.N
 	if !math.IsInf(limit, 1) && n > limit {
@@ -119,7 +149,7 @@ func (e *Estimator) estimate(ctx context.Context, tb *Table, wantInterval bool) 
 		// Numerical failures degrade to a point estimate without an
 		// interval, but a cancellation must abandon the whole request.
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr
+			return nil, nil, cerr
 		}
 		if err == nil {
 			if !math.IsInf(limit, 1) && iv.Hi > limit {
@@ -128,7 +158,7 @@ func (e *Estimator) estimate(ctx context.Context, tb *Table, wantInterval bool) 
 			res.Interval = iv
 		}
 	}
-	return res, nil
+	return res, fit, nil
 }
 
 // StratumTable pairs a stratum label with its contingency table and

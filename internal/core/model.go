@@ -39,6 +39,22 @@ func (m Model) With(h int) Model {
 	return Model{T: m.T, Terms: terms}
 }
 
+// Equal reports whether two models are identical: same source count and
+// the same sorted interaction terms. The sweep warm start keys on it — an
+// adjacent window's coefficients are only a valid IRLS seed when the
+// design is the same.
+func (m Model) Equal(o Model) bool {
+	if m.T != o.T || len(m.Terms) != len(o.Terms) {
+		return false
+	}
+	for i, h := range m.Terms {
+		if o.Terms[i] != h {
+			return false
+		}
+	}
+	return true
+}
+
 // Has reports whether interaction term h is in the model. Terms are kept
 // sorted, so this is a binary search — it sits inside the O(2^t) hierarchy
 // check of every selection round.

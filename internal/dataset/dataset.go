@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"sync"
+
 	"ghosts/internal/bgp"
 	"ghosts/internal/ipset"
 	"ghosts/internal/sources"
@@ -37,26 +39,71 @@ type Bundle struct {
 	// SpoofStats reports the filter's work per NetFlow source (empty when
 	// filtering was disabled).
 	SpoofStats map[sources.Name]spoof.Stats
+
+	// /24 projection, built once on first use: bundles are cached and
+	// shared across experiments, several of which want the same /24 view.
+	s24Once sync.Once
+	s24     []*ipset.Set
+}
+
+// Raw is the pre-assembly collection product of one window: the routed
+// table and every source's raw observations, before spoof filtering and
+// source dropping. Collection is by far the expensive half of Collect and
+// depends only on (window, SpoofScale) — not on SpoofFilter or
+// DropNetflow — so experiment variants that differ only in preprocessing
+// (Figure 2's spoofed/filtered/clean series) can collect once and
+// Assemble three bundles from the same Raw.
+type Raw struct {
+	Window      windows.Window
+	Routed      *trie.Trie
+	RoutedAddrs uint64
+	Routed24    uint64
+	Obs         map[sources.Name]*ipset.Set
+}
+
+// CollectRaw gathers the raw per-source observations for one window.
+// spoofScale forwards to the suite (0 keeps the suite default).
+func CollectRaw(u *universe.Universe, suite *sources.Suite, w windows.Window, spoofScale float64) *Raw {
+	if spoofScale != 0 {
+		s := *suite
+		s.SpoofScale = spoofScale
+		suite = &s
+	}
+	rt := bgp.Aggregate(u, w, suite.Seed^0xb6b6)
+	r := &Raw{
+		Window: w,
+		Routed: rt,
+		Obs:    make(map[sources.Name]*ipset.Set, 9),
+	}
+	r.RoutedAddrs, r.Routed24 = bgp.RoutedCounts(u, w)
+	for _, o := range suite.CollectAll(w, rt) {
+		r.Obs[o.Name] = o.Addrs
+	}
+	return r
 }
 
 // Collect builds the bundle for one window.
 func Collect(u *universe.Universe, suite *sources.Suite, w windows.Window, opt Options) *Bundle {
-	if opt.SpoofScale != 0 {
-		s := *suite
-		s.SpoofScale = opt.SpoofScale
-		suite = &s
-	}
-	rt := bgp.Aggregate(u, w, suite.Seed^0xb6b6)
-	b := &Bundle{
-		Window:     w,
-		Routed:     rt,
-		SpoofStats: make(map[sources.Name]spoof.Stats),
-	}
-	b.RoutedAddrs, b.Routed24 = bgp.RoutedCounts(u, w)
+	return CollectRaw(u, suite, w, opt.SpoofScale).Assemble(u, suite, opt)
+}
 
-	obs := make(map[sources.Name]*ipset.Set, 9)
-	for _, o := range suite.CollectAll(w, rt) {
-		obs[o.Name] = o.Addrs
+// Assemble applies the preprocessing options to the raw collection and
+// builds the bundle. The raw sets are never mutated (the spoof filter
+// clones before cleaning), so one Raw may be assembled under any number of
+// option variants; the resulting bundles share unfiltered sets by
+// reference and callers must treat them as read-only (they already must —
+// bundles are cached and shared across experiments).
+func (r *Raw) Assemble(u *universe.Universe, suite *sources.Suite, opt Options) *Bundle {
+	b := &Bundle{
+		Window:      r.Window,
+		Routed:      r.Routed,
+		RoutedAddrs: r.RoutedAddrs,
+		Routed24:    r.Routed24,
+		SpoofStats:  make(map[sources.Name]spoof.Stats),
+	}
+	obs := make(map[sources.Name]*ipset.Set, len(r.Obs))
+	for n, s := range r.Obs {
+		obs[n] = s
 	}
 	if opt.SpoofFilter && !opt.DropNetflow {
 		spoofFree := ipset.New()
@@ -96,13 +143,17 @@ func (b *Bundle) Union() *ipset.Set {
 	return out
 }
 
-// Sets24 projects every source onto /24 subnets.
+// Sets24 projects every source onto /24 subnets. The projection is
+// computed once and cached; callers must treat the returned sets as
+// read-only, like Sets itself.
 func (b *Bundle) Sets24() []*ipset.Set {
-	out := make([]*ipset.Set, len(b.Sets))
-	for i, s := range b.Sets {
-		out[i] = s.Slash24Set()
-	}
-	return out
+	b.s24Once.Do(func() {
+		b.s24 = make([]*ipset.Set, len(b.Sets))
+		for i, s := range b.Sets {
+			b.s24[i] = s.Slash24Set()
+		}
+	})
+	return b.s24
 }
 
 // Source returns the observation set of a source, or nil if absent.

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"ghosts/internal/core"
@@ -34,15 +35,24 @@ type Env struct {
 	MaxTerms int
 	MaxOrder int
 
-	mu         sync.Mutex
-	bundles    map[bundleKey]*dataset.Bundle
-	estimates  map[estKey][]WindowEstimate
-	stratCache map[stratKey][]map[string]float64
+	mu          sync.Mutex
+	raws        map[rawKey]*dataset.Raw
+	bundles     map[bundleKey]*dataset.Bundle
+	estimates   map[estKey][]WindowEstimate
+	stratCache  map[stratKey][]map[string]float64
+	stratObs    map[stratKey][]map[string]float64
+	labelTables map[strata.Key]*strata.LabelTable
+	stratHists  map[histKey]*strata.HistSet
 }
 
 type stratKey struct {
 	k   strata.Key
 	s24 bool
+}
+
+type rawKey struct {
+	win        int
+	spoofScale float64
 }
 
 type bundleKey struct {
@@ -56,20 +66,30 @@ type estKey struct {
 	withCI bool
 }
 
+type histKey struct {
+	win int
+	k   strata.Key
+	s24 bool
+}
+
 // New builds an environment over a fresh universe.
 func New(cfg universe.Config, seed uint64) *Env {
 	u := universe.New(cfg)
 	return &Env{
-		U:          u,
-		Suite:      sources.NewSuite(u, seed),
-		Win:        windows.Paper(),
-		IC:         core.BIC,
-		Divisor:    core.Adaptive1000,
-		MaxTerms:   8,
-		MaxOrder:   2,
-		bundles:    make(map[bundleKey]*dataset.Bundle),
-		estimates:  make(map[estKey][]WindowEstimate),
-		stratCache: make(map[stratKey][]map[string]float64),
+		U:           u,
+		Suite:       sources.NewSuite(u, seed),
+		Win:         windows.Paper(),
+		IC:          core.BIC,
+		Divisor:     core.Adaptive1000,
+		MaxTerms:    8,
+		MaxOrder:    2,
+		raws:        make(map[rawKey]*dataset.Raw),
+		bundles:     make(map[bundleKey]*dataset.Bundle),
+		estimates:   make(map[estKey][]WindowEstimate),
+		stratCache:  make(map[stratKey][]map[string]float64),
+		stratObs:    make(map[stratKey][]map[string]float64),
+		labelTables: make(map[strata.Key]*strata.LabelTable),
+		stratHists:  make(map[histKey]*strata.HistSet),
 	}
 }
 
@@ -82,6 +102,28 @@ func (e *Env) Estimator(limit float64) *core.Estimator {
 	return est
 }
 
+// raw collects (or returns the cached) raw per-source observations for
+// window i. Raw collection depends only on (window, spoofScale), so bundle
+// variants that differ in preprocessing flags share it.
+func (e *Env) raw(i int, spoofScale float64) *dataset.Raw {
+	key := rawKey{i, spoofScale}
+	e.mu.Lock()
+	r, ok := e.raws[key]
+	e.mu.Unlock()
+	if ok {
+		return r
+	}
+	r = dataset.CollectRaw(e.U, e.Suite, e.Win[i], spoofScale)
+	e.mu.Lock()
+	if prev, ok := e.raws[key]; ok {
+		r = prev
+	} else {
+		e.raws[key] = r
+	}
+	e.mu.Unlock()
+	return r
+}
+
 // Bundle collects (or returns the cached) dataset bundle for window i.
 func (e *Env) Bundle(i int, opt dataset.Options) *dataset.Bundle {
 	key := bundleKey{i, opt}
@@ -91,11 +133,74 @@ func (e *Env) Bundle(i int, opt dataset.Options) *dataset.Bundle {
 	if ok {
 		return b
 	}
-	b = dataset.Collect(e.U, e.Suite, e.Win[i], opt)
+	b = e.raw(i, opt.SpoofScale).Assemble(e.U, e.Suite, opt)
 	e.mu.Lock()
-	e.bundles[key] = b
+	// Keep the first stored bundle: its lazy /24 projection may already be
+	// shared with other callers.
+	if prev, ok := e.bundles[key]; ok {
+		b = prev
+	} else {
+		e.bundles[key] = b
+	}
 	e.mu.Unlock()
 	return b
+}
+
+// LabelTable returns the dense stratum labelling for key k, built once per
+// environment and shared by every window's histogram fold.
+func (e *Env) LabelTable(k strata.Key) *strata.LabelTable {
+	e.mu.Lock()
+	lt, ok := e.labelTables[k]
+	e.mu.Unlock()
+	if ok {
+		return lt
+	}
+	lt = strata.BuildLabelTable(e.U, k)
+	e.mu.Lock()
+	if prev, ok := e.labelTables[k]; ok {
+		lt = prev
+	} else {
+		e.labelTables[k] = lt
+	}
+	e.mu.Unlock()
+	return lt
+}
+
+// StratHists returns window i's per-stratum capture histograms under key k
+// (over /24 projections when s24 is set), folded once and cached. Table 5,
+// the stratified series and the observed series all share it. A miss folds
+// every key's histograms in one pass over the window's merged source pages
+// (the page fold dominates and is key-independent), so the first key pays
+// for all six.
+func (e *Env) StratHists(i int, k strata.Key, s24 bool) *strata.HistSet {
+	key := histKey{i, k, s24}
+	e.mu.Lock()
+	h, ok := e.stratHists[key]
+	e.mu.Unlock()
+	if ok {
+		return h
+	}
+	b := e.Bundle(i, dataset.DefaultOptions())
+	sets := b.Sets
+	if s24 {
+		sets = b.Sets24()
+	}
+	keys := strata.Keys()
+	lts := make([]*strata.LabelTable, len(keys))
+	for j, kj := range keys {
+		lts[j] = e.LabelTable(kj)
+	}
+	hs := strata.CaptureHistogramsAll(lts, sets)
+	e.mu.Lock()
+	for j, kj := range keys {
+		kj := histKey{i, kj, s24}
+		if _, ok := e.stratHists[kj]; !ok {
+			e.stratHists[kj] = hs[j]
+		}
+	}
+	h = e.stratHists[key]
+	e.mu.Unlock()
+	return h
 }
 
 // WindowEstimate is the per-window outcome of the main pipeline.
@@ -120,10 +225,13 @@ func (e *Env) Estimates(opt dataset.Options, s24 bool, withCI bool) []WindowEsti
 	}
 	sp := telemetry.Active().StartSpan("env.estimates")
 	defer sp.End(int64(len(e.Win)))
-	// Windows are independent: collect and estimate them concurrently,
-	// writing each result into its window's slot so the series is
-	// identical to a serial run.
+	// Phase 1 — windows are independent for collection and table building:
+	// run them concurrently, writing each result into its window's slot so
+	// the series is identical to a serial run. The observed union is the
+	// table's cell sum, so no union set is materialised.
 	out := make([]WindowEstimate, len(e.Win))
+	tbs := make([]*core.Table, len(e.Win))
+	limits := make([]float64, len(e.Win))
 	parallel.ForEach(len(e.Win), func(i int) {
 		b := e.Bundle(i, opt)
 		we := WindowEstimate{Window: b.Window}
@@ -134,15 +242,6 @@ func (e *Env) Estimates(opt dataset.Options, s24 bool, withCI bool) []WindowEsti
 			limit = float64(b.Routed24)
 		}
 		we.Routed = limit
-		union := 0
-		{
-			u := sets[0].Clone()
-			for _, s := range sets[1:] {
-				u.AddSet(s)
-			}
-			union = u.Len()
-		}
-		we.Observed = float64(union)
 		if ping := b.Source(sources.IPING); ping != nil {
 			if s24 {
 				we.Ping = float64(ping.Slash24Len())
@@ -151,22 +250,33 @@ func (e *Env) Estimates(opt dataset.Options, s24 bool, withCI bool) []WindowEsti
 			}
 		}
 		tb := core.TableFromSets(sets, b.NameStrings())
-		est := e.Estimator(limit)
+		we.Observed = float64(tb.Observed())
+		out[i], tbs[i], limits[i] = we, tb, limit
+	})
+	// Phase 2 — estimate the windows in order, warm-starting each final fit
+	// from the previous window's when the selected model matches: adjacent
+	// windows see near-identical populations, so the previous optimum is an
+	// excellent IRLS seed.
+	var warm *core.FitResult
+	for i := range e.Win {
+		est := e.Estimator(limits[i])
 		var res *core.Result
+		var fit *core.FitResult
 		var err error
 		if withCI {
-			res, err = est.Estimate(tb)
+			res, fit, err = est.EstimateSweep(tbs[i], warm)
 		} else {
-			res, err = est.EstimatePoint(tb)
+			res, fit, err = est.EstimateSweepPoint(tbs[i], warm)
 		}
 		if err == nil {
-			we.Est = res.N
-			we.Lo, we.Hi = res.Interval.Lo, res.Interval.Hi
+			out[i].Est = res.N
+			out[i].Lo, out[i].Hi = res.Interval.Lo, res.Interval.Hi
+			warm = fit
 		} else {
-			we.Est = we.Observed
+			out[i].Est = out[i].Observed
+			warm = nil
 		}
-		out[i] = we
-	})
+	}
 	e.mu.Lock()
 	e.estimates[key] = out
 	e.mu.Unlock()
@@ -199,6 +309,11 @@ func LinearGrowth(es []WindowEstimate, pick func(WindowEstimate) float64) float6
 // StratSeries returns, for every window, the per-stratum estimated totals
 // under the given key (addresses, or /24 subnets when s24 is set). Results
 // are cached: Figure 6 and Table 6 share the RIR series.
+//
+// The series runs on the labelled histogram fast path: one fold per window
+// yields every stratum's contingency table, and each stratum's windows are
+// then estimated in order with cross-window warm starts. StratSeriesDense
+// is the Split-based reference implementation.
 func (e *Env) StratSeries(k strata.Key, s24 bool) []map[string]float64 {
 	ck := stratKey{k, s24}
 	e.mu.Lock()
@@ -209,75 +324,164 @@ func (e *Env) StratSeries(k strata.Key, s24 bool) []map[string]float64 {
 	}
 	sp := telemetry.Active().StartSpan("env.strat_series")
 	defer sp.End(int64(len(e.Win)))
-	out := make([]map[string]float64, len(e.Win))
+	// Phase 1 — per-window folds and routed sizes, concurrently.
+	hs := make([]*strata.HistSet, len(e.Win))
+	sizes := make([]map[string]strata.Size, len(e.Win))
 	parallel.ForEach(len(e.Win), func(i int) {
-		b := e.Bundle(i, dataset.DefaultOptions())
-		sets := b.Sets
-		if s24 {
-			sets = b.Sets24()
-		}
-		idxs := e.U.RoutedAllocs(b.Window.End)
-		sizes := strata.RoutedSizes(e.U, k, idxs)
-		split := strata.Split(e.U, sets, k)
-		m := make(map[string]float64, len(split))
-		for label, group := range split {
-			tb := core.TableFromSets(group, nil)
-			obs := tb.Observed()
-			if obs == 0 {
-				continue
-			}
-			if obs < MinStratum {
-				m[label] = float64(obs)
-				continue
-			}
-			limit := math.Inf(1)
-			if sz, ok := sizes[label]; ok {
-				if s24 {
-					limit = float64(sz.Slash24)
-				} else {
-					limit = float64(sz.Addrs)
-				}
-			}
-			res, err := e.Estimator(limit).EstimatePoint(tb)
-			if err != nil {
-				m[label] = float64(obs)
-			} else {
-				m[label] = res.N
-			}
-		}
-		out[i] = m
+		hs[i] = e.StratHists(i, k, s24)
+		idxs := e.U.RoutedAllocs(e.Win[i].End)
+		sizes[i] = strata.RoutedSizes(e.U, k, idxs)
 	})
+	// Phase 2 — per-stratum estimation. Strata are independent of each
+	// other, so they fan out; within a stratum the windows run in order so
+	// window i's final fit can warm-start from window i−1's.
+	labels := e.LabelTable(k).Labels()
+	tableOf := func(i int, label string) (*core.Table, float64, bool) {
+		hist := hs[i].Hist(label)
+		if hist == nil {
+			return nil, 0, false
+		}
+		limit := math.Inf(1)
+		if sz, ok := sizes[i][label]; ok {
+			if s24 {
+				limit = float64(sz.Slash24)
+			} else {
+				limit = float64(sz.Addrs)
+			}
+		}
+		return &core.Table{T: hs[i].T, Counts: hist}, limit, true
+	}
+	out := e.stratSweep(labels, tableOf)
 	e.mu.Lock()
 	e.stratCache[ck] = out
 	e.mu.Unlock()
 	return out
 }
 
-// StratObservedSeries returns per-window observed (not estimated) totals
-// per stratum, for the "Observed" halves of Figures 7–9.
-func (e *Env) StratObservedSeries(k strata.Key, s24 bool) []map[string]float64 {
-	sp := telemetry.Active().StartSpan("env.strat_observed")
-	defer sp.End(int64(len(e.Win)))
-	out := make([]map[string]float64, len(e.Win))
+// StratSeriesDense is the dense reference implementation of StratSeries:
+// it materialises per-stratum address sets with strata.Split and builds
+// each contingency table from them. Estimation order and warm-start policy
+// are identical to the fast path, so the two must agree bit for bit — the
+// differential tests pin that. Results are not cached.
+func (e *Env) StratSeriesDense(k strata.Key, s24 bool) []map[string]float64 {
+	splits := make([]map[string][]*ipset.Set, len(e.Win))
+	sizes := make([]map[string]strata.Size, len(e.Win))
 	parallel.ForEach(len(e.Win), func(i int) {
 		b := e.Bundle(i, dataset.DefaultOptions())
 		sets := b.Sets
 		if s24 {
 			sets = b.Sets24()
 		}
-		split := strata.Split(e.U, sets, k)
-		m := make(map[string]float64, len(split))
-		for label, group := range split {
-			u := ipset.New()
-			for _, s := range group {
-				u.AddSet(s)
-			}
-			if u.Len() > 0 {
-				m[label] = float64(u.Len())
+		splits[i] = strata.Split(e.U, sets, k)
+		idxs := e.U.RoutedAllocs(e.Win[i].End)
+		sizes[i] = strata.RoutedSizes(e.U, k, idxs)
+	})
+	seen := map[string]bool{}
+	var labels []string
+	for _, split := range splits {
+		for label := range split {
+			if !seen[label] {
+				seen[label] = true
+				labels = append(labels, label)
 			}
 		}
+	}
+	sort.Strings(labels)
+	tableOf := func(i int, label string) (*core.Table, float64, bool) {
+		group, ok := splits[i][label]
+		if !ok {
+			return nil, 0, false
+		}
+		limit := math.Inf(1)
+		if sz, ok := sizes[i][label]; ok {
+			if s24 {
+				limit = float64(sz.Slash24)
+			} else {
+				limit = float64(sz.Addrs)
+			}
+		}
+		return core.TableFromSets(group, nil), limit, true
+	}
+	return e.stratSweep(labels, tableOf)
+}
+
+// stratSweep estimates every stratum's window series. tableOf returns the
+// stratum's contingency table and truncation limit for one window, or
+// false when the stratum is unobserved there. Strata fan out in parallel;
+// each stratum's windows run serially so adjacent fits chain warm starts.
+func (e *Env) stratSweep(labels []string, tableOf func(i int, label string) (*core.Table, float64, bool)) []map[string]float64 {
+	out := make([]map[string]float64, len(e.Win))
+	for i := range out {
+		out[i] = make(map[string]float64)
+	}
+	var mu sync.Mutex
+	parallel.ForEach(len(labels), func(li int) {
+		label := labels[li]
+		vals := make([]float64, len(e.Win))
+		has := make([]bool, len(e.Win))
+		var warm *core.FitResult
+		for i := range e.Win {
+			tb, limit, ok := tableOf(i, label)
+			if !ok {
+				continue
+			}
+			obs := tb.Observed()
+			if obs == 0 {
+				continue
+			}
+			if obs < MinStratum {
+				vals[i], has[i] = float64(obs), true
+				continue
+			}
+			res, fit, err := e.Estimator(limit).EstimateSweepPoint(tb, warm)
+			if err != nil {
+				vals[i], has[i] = float64(obs), true
+				warm = nil
+			} else {
+				vals[i], has[i] = res.N, true
+				warm = fit
+			}
+		}
+		mu.Lock()
+		for i, ok := range has {
+			if ok {
+				out[i][label] = vals[i]
+			}
+		}
+		mu.Unlock()
+	})
+	return out
+}
+
+// StratObservedSeries returns per-window observed (not estimated) totals
+// per stratum, for the "Observed" halves of Figures 7–9. Each window's
+// totals are cell sums over its cached stratum histograms — no per-stratum
+// sets, no union sets — and the series itself is cached.
+func (e *Env) StratObservedSeries(k strata.Key, s24 bool) []map[string]float64 {
+	ck := stratKey{k, s24}
+	e.mu.Lock()
+	cached, ok := e.stratObs[ck]
+	e.mu.Unlock()
+	if ok {
+		return cached
+	}
+	sp := telemetry.Active().StartSpan("env.strat_observed")
+	defer sp.End(int64(len(e.Win)))
+	out := make([]map[string]float64, len(e.Win))
+	parallel.ForEach(len(e.Win), func(i int) {
+		h := e.StratHists(i, k, s24)
+		m := make(map[string]float64)
+		h.Range(func(label string, hist []int64) bool {
+			if n := strata.Observed(hist); n > 0 {
+				m[label] = float64(n)
+			}
+			return true
+		})
 		out[i] = m
 	})
+	e.mu.Lock()
+	e.stratObs[ck] = out
+	e.mu.Unlock()
 	return out
 }
 

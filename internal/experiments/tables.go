@@ -344,18 +344,20 @@ func Table5(e *Env) *Table5Data {
 	idxs := e.U.RoutedAllocs(b.Window.End)
 	for _, k := range strata.Keys() {
 		sizes := strata.RoutedSizes(e.U, k, idxs)
-		d.EstAddrs[k.String()] = e.stratTotal(b.Sets, k, sizes, false)
-		d.EstS24[k.String()] = e.stratTotal(b.Sets24(), k, sizes, true)
+		d.EstAddrs[k.String()] = e.stratTotal(last, k, sizes, false)
+		d.EstS24[k.String()] = e.stratTotal(last, k, sizes, true)
 	}
 	return d
 }
 
-// stratTotal splits the sets by key, estimates each stratum with its own
-// routed-size truncation, and sums.
-func (e *Env) stratTotal(sets []*ipset.Set, k strata.Key, sizes map[string]strata.Size, s24 bool) float64 {
-	split := strata.Split(e.U, sets, k)
+// stratTotal estimates each of window i's strata with its own routed-size
+// truncation and sums. Per-stratum contingency tables come straight out of
+// the window's cached histogram fold (shared with the stratified series);
+// no per-stratum sets are materialised.
+func (e *Env) stratTotal(i int, k strata.Key, sizes map[string]strata.Size, s24 bool) float64 {
+	h := e.StratHists(i, k, s24)
 	var sts []core.StratumTable
-	for label, group := range split {
+	h.Range(func(label string, hist []int64) bool {
 		limit := 0.0
 		if sz, ok := sizes[label]; ok {
 			if s24 {
@@ -366,10 +368,11 @@ func (e *Env) stratTotal(sets []*ipset.Set, k strata.Key, sizes map[string]strat
 		}
 		sts = append(sts, core.StratumTable{
 			Label: label,
-			Table: core.TableFromSets(group, nil),
+			Table: &core.Table{T: h.T, Counts: hist},
 			Limit: limit,
 		})
-	}
+		return true
+	})
 	sort.Slice(sts, func(i, j int) bool { return sts[i].Label < sts[j].Label })
 	est := e.Estimator(math.Inf(1))
 	res, err := est.EstimateStratified(sts, MinStratum)
@@ -379,7 +382,7 @@ func (e *Env) stratTotal(sets []*ipset.Set, k strata.Key, sizes map[string]strat
 	// Excluded sampling-zero strata still hold observed individuals; add
 	// them back as observed-only mass so totals remain comparable.
 	for _, label := range res.Excluded {
-		res.Total += float64(core.TableFromSets(split[label], nil).Observed())
+		res.Total += float64(strata.Observed(h.Hist(label)))
 	}
 	return res.Total
 }

@@ -22,55 +22,208 @@ func CaptureHistogram(sets []*Set) []int64 {
 		panic("ipset: CaptureHistogram supports at most 16 sources")
 	}
 	counts := make([]int64, 1<<uint(t))
-	// Merge the per-set page maps once: one map insertion per (set,
-	// occupied page) instead of t lookups per page of the union.
-	merged := make(map[uint32]*[16]*page)
+	for _, pages := range mergePages(sets) {
+		foldPage(counts, &pages, t)
+	}
+	return counts
+}
+
+// CaptureHistogramsBy computes one capture histogram per group in a single
+// pass over the merged source pages: group assigns every occupied /24 page
+// (by its Slash24Index) to a group in [0, ngroups), or a negative group to
+// drop the page entirely. A page is atomic — all 256 addresses of a /24
+// share its group — which is exactly the granularity of stratum labels
+// (allocations are /24-aligned or larger, and static/dynamic is defined
+// per /24), so one pass suffices for any /24-granular partition.
+//
+// The result is indexed by group; groups that own no occupied page stay
+// nil. Each non-nil histogram has length 1<<len(sets) and is cell-for-cell
+// identical to CaptureHistogram run over the sets restricted to that
+// group's /24s.
+func CaptureHistogramsBy(sets []*Set, ngroups int, group func(key24 uint32) int) [][]int64 {
+	t := len(sets)
+	out := make([][]int64, ngroups)
+	if t == 0 || ngroups == 0 {
+		return out
+	}
+	if t > 16 {
+		panic("ipset: CaptureHistogramsBy supports at most 16 sources")
+	}
+	for idx, pages := range mergePages(sets) {
+		g := group(idx)
+		if g < 0 {
+			continue
+		}
+		counts := out[g]
+		if counts == nil {
+			counts = make([]int64, 1<<uint(t))
+			out[g] = counts
+		}
+		foldPage(counts, &pages, t)
+	}
+	return out
+}
+
+// A Grouping partitions occupied /24 pages for one grouped histogram:
+// Group assigns a page (by Slash24Index) to a group in [0, N), or a
+// negative group to drop the page under this grouping.
+type Grouping struct {
+	N     int
+	Group func(key24 uint32) int
+}
+
+// CaptureHistogramsMulti computes CaptureHistogramsBy for several
+// groupings at once, folding every merged page exactly once: the page's
+// histogram lands in a scratch buffer and its touched cells are scattered
+// into each grouping's target. The page fold dominates the grouped fold's
+// cost and is identical for every grouping (only the page→group map
+// differs), so k groupings cost barely more than one. Each result is
+// cell-for-cell identical to the corresponding CaptureHistogramsBy call.
+func CaptureHistogramsMulti(sets []*Set, groupings []Grouping) [][][]int64 {
+	t := len(sets)
+	out := make([][][]int64, len(groupings))
+	for gi := range groupings {
+		out[gi] = make([][]int64, groupings[gi].N)
+	}
+	if t == 0 || len(groupings) == 0 {
+		return out
+	}
+	if t > 16 {
+		panic("ipset: CaptureHistogramsMulti supports at most 16 sources")
+	}
+	scratch := make([]int64, 1<<uint(t))
+	touched := make([]int, 0, 64)
+	targets := make([][]int64, len(groupings))
+	for idx, pages := range mergePages(sets) {
+		keep := false
+		for gi := range groupings {
+			g := groupings[gi].Group(idx)
+			if g < 0 || groupings[gi].N == 0 {
+				targets[gi] = nil
+				continue
+			}
+			counts := out[gi][g]
+			if counts == nil {
+				counts = make([]int64, 1<<uint(t))
+				out[gi][g] = counts
+			}
+			targets[gi] = counts
+			keep = true
+		}
+		if !keep {
+			continue
+		}
+		touched = foldPageTouched(scratch, &pages, t, touched[:0])
+		for _, c := range touched {
+			v := scratch[c]
+			scratch[c] = 0
+			for _, tgt := range targets {
+				if tgt != nil {
+					tgt[c] += v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mergePages joins the per-set page maps into one map of parallel page
+// slots: one insertion per (set, occupied page) instead of t lookups per
+// page of the union.
+func mergePages(sets []*Set) map[uint32][16]*page {
+	merged := make(map[uint32][16]*page)
 	for i, s := range sets {
 		for idx, p := range s.pages {
 			m := merged[idx]
-			if m == nil {
-				m = new([16]*page)
-				merged[idx] = m
-			}
 			m[i] = p
+			merged[idx] = m
 		}
 	}
-	for _, pages := range merged {
-		for w := 0; w < 4; w++ {
-			var wds [16]uint64
-			var any, mult uint64
+	return merged
+}
+
+// foldPageTouched is foldPage over a zeroed scratch histogram, additionally
+// returning the cells it incremented (each listed once). Callers zero the
+// listed cells again after scattering, keeping the scratch reusable.
+func foldPageTouched(counts []int64, pages *[16]*page, t int, touched []int) []int {
+	for w := 0; w < 4; w++ {
+		var wds [16]uint64
+		var any, mult uint64
+		for i := 0; i < t; i++ {
+			if p := pages[i]; p != nil {
+				v := p[w]
+				wds[i] = v
+				mult |= any & v
+				any |= v
+			}
+		}
+		if any == 0 {
+			continue
+		}
+		if single := any &^ mult; single != 0 {
 			for i := 0; i < t; i++ {
-				if p := pages[i]; p != nil {
-					v := p[w]
-					wds[i] = v
-					mult |= any & v
-					any |= v
-				}
-			}
-			if any == 0 {
-				continue
-			}
-			// Bits set in exactly one source: bulk popcount per source.
-			if single := any &^ mult; single != 0 {
-				for i := 0; i < t; i++ {
-					if n := bits.OnesCount64(wds[i] & single); n > 0 {
-						counts[1<<uint(i)] += int64(n)
+				if n := bits.OnesCount64(wds[i] & single); n > 0 {
+					c := 1 << uint(i)
+					if counts[c] == 0 {
+						touched = append(touched, c)
 					}
+					counts[c] += int64(n)
 				}
-			}
-			// Bits shared by two or more sources: assemble the mask.
-			for mult != 0 {
-				b := uint(bits.TrailingZeros64(mult))
-				mult &^= 1 << b
-				var mask int
-				for i := 0; i < t; i++ {
-					if wds[i]&(1<<b) != 0 {
-						mask |= 1 << i
-					}
-				}
-				counts[mask]++
 			}
 		}
+		for mult != 0 {
+			b := uint(bits.TrailingZeros64(mult))
+			mult &^= 1 << b
+			var mask int
+			for i := 0; i < t; i++ {
+				if wds[i]&(1<<b) != 0 {
+					mask |= 1 << i
+				}
+			}
+			if counts[mask] == 0 {
+				touched = append(touched, mask)
+			}
+			counts[mask]++
+		}
 	}
-	return counts
+	return touched
+}
+
+// foldPage accumulates one merged /24 page into a capture histogram.
+func foldPage(counts []int64, pages *[16]*page, t int) {
+	for w := 0; w < 4; w++ {
+		var wds [16]uint64
+		var any, mult uint64
+		for i := 0; i < t; i++ {
+			if p := pages[i]; p != nil {
+				v := p[w]
+				wds[i] = v
+				mult |= any & v
+				any |= v
+			}
+		}
+		if any == 0 {
+			continue
+		}
+		// Bits set in exactly one source: bulk popcount per source.
+		if single := any &^ mult; single != 0 {
+			for i := 0; i < t; i++ {
+				if n := bits.OnesCount64(wds[i] & single); n > 0 {
+					counts[1<<uint(i)] += int64(n)
+				}
+			}
+		}
+		// Bits shared by two or more sources: assemble the mask.
+		for mult != 0 {
+			b := uint(bits.TrailingZeros64(mult))
+			mult &^= 1 << b
+			var mask int
+			for i := 0; i < t; i++ {
+				if wds[i]&(1<<b) != 0 {
+					mask |= 1 << i
+				}
+			}
+			counts[mask]++
+		}
+	}
 }

@@ -72,6 +72,112 @@ func TestCaptureHistogramEdge(t *testing.T) {
 	}
 }
 
+// TestCaptureHistogramsByDifferential pins the grouped fold against the
+// ungrouped one: partitioning the address space by /24 groups and folding
+// once must equal filtering each group's addresses out of every set and
+// folding per group. Group −1 addresses must vanish entirely.
+func TestCaptureHistogramsByDifferential(t *testing.T) {
+	f := func(as, bs, cs []uint32) bool {
+		sets := []*Set{fromUints(as), fromUints(bs), fromUints(cs)}
+		const ngroups = 4
+		group := func(key24 uint32) int {
+			g := int(key24 % (ngroups + 1)) // one residue drops
+			if g == ngroups {
+				return -1
+			}
+			return g
+		}
+		got := CaptureHistogramsBy(sets, ngroups, group)
+		for g := 0; g < ngroups; g++ {
+			// Reference: filter each source down to group g, fold densely.
+			filtered := make([]*Set, len(sets))
+			empty := true
+			for i, s := range sets {
+				filtered[i] = New()
+				s.Range(func(x ipv4.Addr) bool {
+					if group(x.Slash24Index()) == g {
+						filtered[i].Add(x)
+					}
+					return true
+				})
+				if filtered[i].Len() > 0 {
+					empty = false
+				}
+			}
+			if empty {
+				if got[g] != nil {
+					return false
+				}
+				continue
+			}
+			want := CaptureHistogram(filtered)
+			if got[g] == nil || len(got[g]) != len(want) {
+				return false
+			}
+			for c := range want {
+				if got[g][c] != want[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCaptureHistogramsMultiDifferential pins the shared-page-fold variant
+// against per-grouping CaptureHistogramsBy calls: every grouping's result
+// must match cell for cell, including nil-ness of unobserved groups.
+func TestCaptureHistogramsMultiDifferential(t *testing.T) {
+	f := func(as, bs, cs []uint32) bool {
+		sets := []*Set{fromUints(as), fromUints(bs), fromUints(cs)}
+		groupings := []Grouping{
+			{N: 3, Group: func(k uint32) int { return int(k % 3) }},
+			{N: 4, Group: func(k uint32) int {
+				if k%5 == 4 {
+					return -1
+				}
+				return int(k % 4)
+			}},
+			{N: 1, Group: func(uint32) int { return 0 }},
+		}
+		got := CaptureHistogramsMulti(sets, groupings)
+		for gi, g := range groupings {
+			want := CaptureHistogramsBy(sets, g.N, g.Group)
+			if len(got[gi]) != len(want) {
+				return false
+			}
+			for grp := range want {
+				if (got[gi][grp] == nil) != (want[grp] == nil) {
+					return false
+				}
+				for c := range want[grp] {
+					if got[gi][grp][c] != want[grp][c] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCaptureHistogramsByEdge(t *testing.T) {
+	if out := CaptureHistogramsBy(nil, 3, func(uint32) int { return 0 }); len(out) != 3 {
+		t.Fatalf("empty input: %v", out)
+	}
+	out := CaptureHistogramsBy([]*Set{fromUints([]uint32{1, 300})}, 2,
+		func(k uint32) int { return int(k) }) // /24 0 → group 0, /24 1 → group 1
+	if out[0][1] != 1 || out[1][1] != 1 {
+		t.Fatalf("per-group counts: %v", out)
+	}
+}
+
 func BenchmarkCaptureHistogram(b *testing.B) {
 	sets := make([]*Set, 9)
 	for i := range sets {

@@ -33,10 +33,14 @@ type Workspace struct {
 	delta      []float64 // Fisher step
 	coef, cand []float64 // current and trial coefficients
 
-	// Lattice-kernel scratch (stats.Lattice.Fit), all 2^t long.
-	eta     []float64 // linear predictor per lattice cell
-	etaCand []float64 // linear predictor of trial coefficients (logLik)
-	zw, zr  []float64 // zeta-transform buffers for weights and residuals
+	// Lattice-kernel scratch (stats.Lattice.Fit), all 2^t long. The
+	// cand-suffixed buffers are filled by logLik for trial coefficients and
+	// swapped in wholesale when a trial is accepted, so the scoring loop
+	// never recomputes η, λ or the truncation-negligibility test.
+	eta, etaCand []float64 // linear predictor per lattice cell
+	lam, lamCand []float64 // per-cell rate exp(clamped η)
+	tn, tnCand   []bool    // per-cell: truncation negligible (or absent)
+	zw, zr       []float64 // zeta-transform buffers for weights and residuals
 }
 
 // reserve sizes every buffer for an n-row, p-column fit.
@@ -67,8 +71,18 @@ func (ws *Workspace) reserveLattice(n int) {
 	}
 	ws.eta = grow(ws.eta, n)
 	ws.etaCand = grow(ws.etaCand, n)
+	ws.lam = grow(ws.lam, n)
+	ws.lamCand = grow(ws.lamCand, n)
 	ws.zw = grow(ws.zw, n)
 	ws.zr = grow(ws.zr, n)
+	if cap(ws.tn) < n {
+		ws.tn = make([]bool, n)
+	}
+	ws.tn = ws.tn[:n]
+	if cap(ws.tnCand) < n {
+		ws.tnCand = make([]bool, n)
+	}
+	ws.tnCand = ws.tnCand[:n]
 }
 
 // FitPoissonGLM fits a log-link Poisson regression of counts y on the

@@ -61,28 +61,39 @@ func (ld Lattice) Validate() error {
 }
 
 // SubsetSum replaces v (length 2^t, indexed by cell mask) with its subset
-// zeta transform: out[s] = Σ_{m ⊆ s} v[m], in O(t·2^t).
+// zeta transform: out[s] = Σ_{m ⊆ s} v[m], in O(t·2^t). The bit-plane
+// passes walk aligned blocks pairwise (lo half into hi half), which visits
+// the updated cells in the same ascending order as the naive masked loop —
+// the additions are bit-identical — without a branch per cell.
 func SubsetSum(t int, v []float64) {
 	n := 1 << uint(t)
+	v = v[:n]
 	for i := 0; i < t; i++ {
 		bit := 1 << uint(i)
-		for s := 0; s < n; s++ {
-			if s&bit != 0 {
-				v[s] += v[s^bit]
+		for base := 0; base < n; base += bit << 1 {
+			lo := v[base : base+bit : base+bit]
+			hi := v[base+bit : base+bit<<1]
+			for k := range hi {
+				hi[k] += lo[k]
 			}
 		}
 	}
 }
 
 // SupersetSum replaces v (length 2^t, indexed by cell mask) with its
-// superset zeta transform: out[s] = Σ_{m ⊇ s} v[m], in O(t·2^t).
+// superset zeta transform: out[s] = Σ_{m ⊇ s} v[m], in O(t·2^t). Same
+// blocked, branch-free walk as SubsetSum (hi half into lo half), preserving
+// the naive loop's update order exactly.
 func SupersetSum(t int, v []float64) {
 	n := 1 << uint(t)
+	v = v[:n]
 	for i := 0; i < t; i++ {
 		bit := 1 << uint(i)
-		for s := 0; s < n; s++ {
-			if s&bit == 0 {
-				v[s] += v[s|bit]
+		for base := 0; base < n; base += bit << 1 {
+			lo := v[base : base+bit : base+bit]
+			hi := v[base+bit : base+bit<<1]
+			for k := range lo {
+				lo[k] += hi[k]
 			}
 		}
 	}
@@ -160,25 +171,38 @@ func (ld Lattice) Fit(y, limits, init []float64, ws *Workspace) (*GLMResult, err
 		logFactSum += LogFactorial(y[s])
 	}
 	ll := ld.logLik(y, limits, coef, logFactSum, ws)
+	// logLik left η(coef), λ(coef) and the per-cell truncation flags in the
+	// candidate buffers; swap them in so every iteration reads the current
+	// values without recomputing the subset sum, the exponentials or the
+	// negligibility tests: the accepted candidate's buffers are swapped the
+	// same way below, keeping the invariant that ws.eta/ws.lam/ws.tn always
+	// describe the current coef.
+	ws.eta, ws.etaCand = ws.etaCand, ws.eta
+	ws.lam, ws.lamCand = ws.lamCand, ws.lam
+	ws.tn, ws.tnCand = ws.tnCand, ws.tn
 	var it int
 	converged := false
 	for it = 0; it < 200; it++ {
-		// Per-cell truncated mean and variance at the current η, with the
-		// inactive cell 0 zero-weighted so the zeta sums skip it.
-		eta, zw, zr := ws.eta[:n], ws.zw[:n], ws.zr[:n]
-		LatticeEta(ld.T, ld.Masks, coef, eta)
+		// Per-cell truncated mean and variance at the current η (λ and the
+		// truncation flags already in ws.lam/ws.tn), with the inactive cell
+		// 0 zero-weighted so the zeta sums skip it.
+		lam, tn := ws.lam[:n], ws.tn[:n]
+		zw, zr := ws.zw[:n], ws.zr[:n]
 		if !ld.Cell0 {
 			zw[0], zr[0] = 0, 0
 		}
 		for s := first; s < n; s++ {
-			e := eta[s]
-			if e > maxEta {
-				e = maxEta
-			} else if e < -maxEta {
-				e = -maxEta
+			lambda := lam[s]
+			var mu, w float64
+			if tn[s] {
+				// Untruncated (or negligibly truncated) cell: the moments
+				// degenerate to the plain Poisson's, exactly as Moments
+				// returns on its fast path.
+				mu, w = lambda, lambda
+			} else {
+				tp := TruncPoisson{Lambda: lambda, Limit: lim(s)}
+				mu, w, _ = tp.Moments()
 			}
-			tp := TruncPoisson{Lambda: math.Exp(e), Limit: lim(s)}
-			mu, w, _ := tp.Moments()
 			if w < 1e-10 {
 				w = 1e-10
 			}
@@ -230,6 +254,11 @@ func (ld Lattice) Fit(y, limits, init []float64, ws *Workspace) (*GLMResult, err
 		}
 		done := math.Abs(nextLL-ll) < 1e-9*(math.Abs(ll)+1)
 		ws.coef, ws.cand = cand, coef // swap buffers instead of copying
+		// The last logLik call evaluated the accepted candidate, so its η,
+		// λ and truncation flags are current again after the swap.
+		ws.eta, ws.etaCand = ws.etaCand, ws.eta
+		ws.lam, ws.lamCand = ws.lamCand, ws.lam
+		ws.tn, ws.tnCand = ws.tnCand, ws.tn
 		coef, ll = cand, nextLL
 		if done {
 			converged = true
@@ -237,8 +266,10 @@ func (ld Lattice) Fit(y, limits, init []float64, ws *Workspace) (*GLMResult, err
 		}
 	}
 
+	// ws.eta still holds η of the final coefficients (the loop invariant),
+	// so the fitted rates need no further transform.
 	fitted := make([]float64, n)
-	LatticeEta(ld.T, ld.Masks, coef, fitted)
+	copy(fitted, ws.eta[:n])
 	for s := range fitted {
 		e := fitted[s]
 		if e > maxEta {
@@ -260,10 +291,15 @@ func (ld Lattice) Fit(y, limits, init []float64, ws *Workspace) (*GLMResult, err
 }
 
 // logLik evaluates the (possibly right-truncated) Poisson log-likelihood at
-// coef, computing η by subset sum into the workspace's candidate buffer.
+// coef, computing η by subset sum into the workspace's candidate buffers.
+// Alongside the likelihood it records per-cell λ = exp(clamped η) and
+// whether the cell's truncation is absent or negligible, so the scoring
+// loop can reuse both when the candidate is accepted.
 func (ld Lattice) logLik(y, limits, coef []float64, logFactSum float64, ws *Workspace) float64 {
 	n := 1 << uint(ld.T)
 	eta := ws.etaCand[:n]
+	lam := ws.lamCand[:n]
+	tn := ws.tnCand[:n]
 	LatticeEta(ld.T, ld.Masks, coef, eta)
 	first := 1
 	if ld.Cell0 {
@@ -278,9 +314,17 @@ func (ld Lattice) logLik(y, limits, coef []float64, logFactSum float64, ws *Work
 			e = -maxEta
 		}
 		lambda := math.Exp(e)
+		lam[s] = lambda
 		ll += y[s]*e - lambda
-		if limits != nil && !math.IsInf(limits[s], 1) && !TruncationNegligible(limits[s], lambda) {
-			ll -= LogPoissonCDF(limits[s], lambda)
+		if limits != nil && !math.IsInf(limits[s], 1) {
+			if TruncationNegligible(limits[s], lambda) {
+				tn[s] = true
+			} else {
+				tn[s] = false
+				ll -= LogPoissonCDF(limits[s], lambda)
+			}
+		} else {
+			tn[s] = true
 		}
 	}
 	return ll

@@ -1,8 +1,6 @@
 package strata
 
 import (
-	"strconv"
-
 	"ghosts/internal/ipset"
 	"ghosts/internal/ipv4"
 	"ghosts/internal/universe"
@@ -42,25 +40,13 @@ func Label(u *universe.Universe, a ipv4.Addr, k Key) (string, bool) {
 	if al == nil {
 		return "", false
 	}
-	switch k {
-	case ByRIR:
-		return al.RIR.String(), true
-	case ByCountry:
-		return al.Country, true
-	case ByPrefix:
-		return "/" + strconv.Itoa(al.Prefix.Bits), true
-	case ByAge:
-		return strconv.Itoa(al.Date.Year()), true
-	case ByIndustry:
-		return al.Industry.String(), true
-	case ByStaticDyn:
+	if k == ByStaticDyn {
 		if u.IsDynamic(a) {
 			return "dynamic", true
 		}
 		return "static", true
-	default:
-		return "", false
 	}
+	return allocLabel(al, k)
 }
 
 // Split partitions each of the parallel source sets by stratum label. The

@@ -23,6 +23,7 @@ type Report struct {
 	WallMS   float64         `json:"wall_ms"`  // finished − started
 	Workers  int             `json:"workers,omitempty"`
 	Fit      FitReport       `json:"glm_fit"`
+	Strata   StrataReport    `json:"strata"`
 	Pool     PoolReport      `json:"fit_pool"`
 	Select   SelectReport    `json:"model_selection"`
 	Boot     BootstrapReport `json:"bootstrap"`
@@ -33,12 +34,19 @@ type Report struct {
 
 // FitReport summarises the GLM kernel (metric prefix glm_fit).
 type FitReport struct {
-	Count          int64             `json:"count"`
-	NonConverged   int64             `json:"non_converged"`
-	LatticeFits    int64             `json:"lattice_fits"`
-	DenseFallbacks int64             `json:"dense_fallbacks"`
-	WarmStartSaved int64             `json:"warm_start_iters_saved"`
-	Iterations     HistogramSnapshot `json:"iterations"`
+	Count           int64             `json:"count"`
+	NonConverged    int64             `json:"non_converged"`
+	LatticeFits     int64             `json:"lattice_fits"`
+	DenseFallbacks  int64             `json:"dense_fallbacks"`
+	WarmStartSaved  int64             `json:"warm_start_iters_saved"`
+	SweepWarmStarts int64             `json:"sweep_warm_starts"`
+	Iterations      HistogramSnapshot `json:"iterations"`
+}
+
+// StrataReport summarises the stratified-sweep fast path (metric prefix
+// strata).
+type StrataReport struct {
+	HistogramFolds int64 `json:"histogram_folds"`
 }
 
 // PoolReport summarises the fit-scratch pool (metric prefix fit_pool).
@@ -124,13 +132,15 @@ func (r *Recorder) Report(started, finished time.Time, workers int) *Report {
 		return rep
 	}
 	rep.Fit = FitReport{
-		Count:          r.Fits.Load(),
-		NonConverged:   r.FitNonConverged.Load(),
-		LatticeFits:    r.LatticeFits.Load(),
-		DenseFallbacks: r.DenseFallbacks.Load(),
-		WarmStartSaved: r.WarmStartSaved.Load(),
-		Iterations:     r.FitIters.Snapshot(),
+		Count:           r.Fits.Load(),
+		NonConverged:    r.FitNonConverged.Load(),
+		LatticeFits:     r.LatticeFits.Load(),
+		DenseFallbacks:  r.DenseFallbacks.Load(),
+		WarmStartSaved:  r.WarmStartSaved.Load(),
+		SweepWarmStarts: r.SweepWarmStarts.Load(),
+		Iterations:      r.FitIters.Snapshot(),
 	}
+	rep.Strata = StrataReport{HistogramFolds: r.HistogramFolds.Load()}
 	gets, misses := r.PoolGets.Load(), r.PoolMisses.Load()
 	rep.Pool = PoolReport{Gets: gets, Misses: misses}
 	if gets > 0 {

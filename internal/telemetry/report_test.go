@@ -19,6 +19,9 @@ func populate() *Recorder {
 	r.DenseFallback()
 	r.WarmStartSavedIters(6)
 	r.WarmStartSavedIters(0) // no-op: nothing saved
+	r.SweepWarmStart()
+	r.HistogramFold()
+	r.HistogramFold()
 	for i := 0; i < 8; i++ {
 		r.PoolGet()
 	}
@@ -63,6 +66,7 @@ const goldenReport = `{
     "lattice_fits": 1,
     "dense_fallbacks": 1,
     "warm_start_iters_saved": 6,
+    "sweep_warm_starts": 1,
     "iterations": {
       "count": 2,
       "sum": 8,
@@ -79,6 +83,9 @@ const goldenReport = `{
         }
       ]
     }
+  },
+  "strata": {
+    "histogram_folds": 2
   },
   "fit_pool": {
     "gets": 8,

@@ -162,6 +162,10 @@ type Recorder struct {
 	LatticeFits     Counter   // fits served by the zeta-transform lattice kernel
 	DenseFallbacks  Counter   // engine fits routed to the dense kernel instead
 	WarmStartSaved  Counter   // Fisher iterations saved by warm-started profile evals
+	SweepWarmStarts Counter   // final fits warm-started from an adjacent window's fit
+
+	// Stratified sweeps (strata.CaptureHistograms).
+	HistogramFolds Counter // labeled capture-histogram folds (one per window×key pass)
 
 	// Fit scratch pool (core fit path).
 	PoolGets   Counter // scratch checkouts
@@ -247,6 +251,26 @@ func (r *Recorder) WarmStartSavedIters(n int) {
 		return
 	}
 	r.WarmStartSaved.Add(int64(n))
+}
+
+// SweepWarmStart records a final model fit seeded with an adjacent sweep
+// step's converged coefficients (same selected model on the neighbouring
+// window of a series), instead of a cold start.
+func (r *Recorder) SweepWarmStart() {
+	if r == nil {
+		return
+	}
+	r.SweepWarmStarts.Inc()
+}
+
+// HistogramFold records one labeled capture-histogram pass: a single
+// merged-page fold that replaces a full per-stratum Split of the source
+// sets for one (window, key) pair.
+func (r *Recorder) HistogramFold() {
+	if r == nil {
+		return
+	}
+	r.HistogramFolds.Inc()
 }
 
 // PoolGet records one fit-scratch checkout.

@@ -38,8 +38,18 @@ go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$
 
 # Convert `BenchmarkName  iters  123 ns/op  456 B/op  7 allocs/op  8.9 metric`
 # lines into a JSON array of {name, iters, metrics{unit: value}} objects.
-awk '
-BEGIN { print "[" ; first = 1 }
+# The first element records the parallelism the numbers were taken under
+# (GOMAXPROCS and the host CPU count): a multi-core snapshot is not
+# comparable to a single-core one. It carries no "name"/"ns/op" pair, so
+# the regression diff below skips it.
+NCPU="$(nproc 2>/dev/null || echo 1)"
+GMP="${GOMAXPROCS:-$NCPU}"
+awk -v gmp="$GMP" -v ncpu="$NCPU" '
+BEGIN {
+    print "["
+    printf("  {\"meta\": {\"gomaxprocs\": %d, \"host_cpus\": %d}}", gmp, ncpu)
+    first = 0
+}
 /^Benchmark/ {
     if (!first) printf(",\n"); first = 0
     printf("  {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", $1, $2)

@@ -31,6 +31,16 @@ echo "== lattice/dense differential (-race) =="
 # path, so they run as their own named gate, race-enabled and uncached.
 go test -race -count=1 -run 'TestLattice|TestMoments' ./internal/stats
 
+echo "== strata fold/Split differential (-race) =="
+# The labelled histogram fold must agree bit-for-bit with the dense
+# Split-based path — labels, observed totals and estimates (DESIGN.md
+# §8.2): these differential tests are the licence for routing the
+# stratified sweeps through the fold, so they run as their own named gate,
+# race-enabled and uncached.
+go test -race -count=1 -run 'TestStratDifferential' ./internal/experiments
+go test -race -count=1 -run 'TestLabelTableDifferential|TestCaptureHistogramsDifferential' ./internal/strata
+go test -race -count=1 -run 'TestCaptureHistogramsBy' ./internal/ipset
+
 echo "== deadlock smoke =="
 # Bounded-time regression net for the single-flight leader-panic deadlock:
 # coalesced bursts with injected leader panics must fully complete — every
