@@ -79,6 +79,11 @@ func main() {
 		outFlag      = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
 		collectFlag  = flag.String("collect", "", "simulate the final window and write per-source .gset files to this directory, then exit")
 		estFlag      = flag.String("estimate", "", "load .gset files from this directory, estimate, and exit")
+		replayFlag   = flag.String("replay", "", "replay a raw-IP pcap through the streaming pipeline, print the tick series, and exit (see STREAMING.md)")
+		windowFlag   = flag.Duration("window", time.Minute, "streaming: width of one observation window (with -replay)")
+		windowsFlag  = flag.Int("windows", 3, "streaming: live windows kept before the oldest rotates out (with -replay)")
+		everyFlag    = flag.Duration("every", 30*time.Second, "streaming: re-estimation cadence (with -replay)")
+		limitFlag    = flag.Float64("limit", 0, "streaming: right-truncation bound per window estimate, 0 = unbounded (with -replay)")
 		parallelFlag = flag.Int("parallel", 0, "worker goroutines for the estimation engine (0 = GOMAXPROCS, 1 = serial)")
 		metricsFlag  = flag.String("metrics", "", "write a JSON telemetry run report to this path (see OBSERVABILITY.md)")
 		progressFlag = flag.Bool("progress", false, "print periodic telemetry progress lines to stderr")
@@ -113,6 +118,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote telemetry run report to %s\n", *metricsFlag)
+	}
+
+	if *replayFlag != "" {
+		opt := replayOptions{
+			Window:  *windowFlag,
+			Windows: *windowsFlag,
+			Every:   *everyFlag,
+			Limit:   *limitFlag,
+			JSON:    *jsonFlag,
+		}
+		if err := runReplay(*replayFlag, opt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writeMetrics()
+		return
 	}
 
 	if *estFlag != "" {

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ghosts/internal/ingest"
+)
+
+// replayOptions carries the streaming flags into the -replay mode.
+type replayOptions struct {
+	Window  time.Duration
+	Windows int
+	Every   time.Duration
+	Limit   float64
+	JSON    bool
+}
+
+// runReplay streams a raw-IP pcap through the ingest pipeline and prints
+// the tick series: with -json, one canonical ghosts.watch/v1 line per tick
+// (byte-identical run to run, and byte-identical to what /v1/watch would
+// stream for the same events — see STREAMING.md); otherwise a readable
+// per-tick rendering plus a closing summary on stderr.
+func runReplay(path string, opt replayOptions, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	out := bufio.NewWriter(stdout)
+	defer out.Flush()
+	cfg := ingest.Config{
+		Window:  opt.Window,
+		Windows: opt.Windows,
+		Every:   opt.Every,
+		Limit:   opt.Limit,
+	}
+	if opt.JSON {
+		cfg.OnTick = func(tk *ingest.Tick) { out.Write(tk.Encode()) }
+	} else {
+		cfg.OnTick = func(tk *ingest.Tick) { renderTick(out, tk) }
+	}
+	p := ingest.New(cfg)
+	st, err := ingest.Replay(f, p)
+	if err != nil {
+		return err
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "replayed %s: %d packets (%d malformed), %d vantages, %d ticks, %d events dropped\n",
+		path, st.Packets, st.Malformed, st.Sources, st.Ticks, st.Dropped)
+	return nil
+}
+
+// renderTick prints one tick in the human format: one header line and one
+// line per live window, oldest first.
+func renderTick(w io.Writer, tk *ingest.Tick) {
+	fmt.Fprintf(w, "tick %d @ %s\n", tk.Seq, tk.At)
+	for _, we := range tk.Windows {
+		mark := ""
+		if we.Warm {
+			mark = " warm"
+		}
+		if !we.Estimated {
+			fmt.Fprintf(w, "  [%s) sources=%d observed=%d (not estimable)\n",
+				we.Start, we.Sources, we.Observed)
+			continue
+		}
+		fmt.Fprintf(w, "  [%s) sources=%d observed=%d N=%.1f unseen=%.1f%s\n",
+			we.Start, we.Sources, we.Observed, we.Estimate, we.Unseen, mark)
+	}
+}

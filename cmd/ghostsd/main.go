@@ -12,13 +12,17 @@
 //	ghostsd -compute-timeout 30s             # bound each estimate's compute (504 past it)
 //	ghostsd -cache-size 1024 -cache-ttl 1h   # result-cache tuning
 //	ghostsd -metrics run.json                # telemetry report on shutdown
+//	ghostsd -netflow-listen                  # live NetFlow ingest + /v1/watch tick stream
+//	ghostsd -netflow-listen -watch-window 1m -watch-every 30s -watch-windows 3
 //
-// Endpoints (SERVING.md documents schemas and semantics):
+// Endpoints (SERVING.md documents schemas and semantics; STREAMING.md
+// covers /v1/watch):
 //
 //	POST /v1/estimate     capture-history estimate with profile interval
 //	GET  /v1/experiments  the experiment catalogue
 //	POST /v1/jobs         launch an experiment asynchronously
 //	GET  /v1/jobs/{id}    job status and result
+//	GET  /v1/watch        SSE stream of rolling window estimates (with -netflow-listen)
 //	GET  /healthz         liveness
 //	GET  /readyz          readiness (503 while draining)
 //	GET  /debug/vars      expvar, including the live telemetry report
@@ -32,11 +36,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"ghosts/internal/ingest"
+	"ghosts/internal/netflow"
 	"ghosts/internal/parallel"
 	"ghosts/internal/serve"
 	"ghosts/internal/server"
@@ -55,6 +62,10 @@ func main() {
 		drainFlag    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
 		computeFlag  = flag.Duration("compute-timeout", 0, "per-request compute deadline for /v1/estimate (0 = none; past it the request fails with 504)")
 		metricsFlag  = flag.String("metrics", "", "write a JSON telemetry run report here on shutdown (see OBSERVABILITY.md)")
+		netflowFlag  = flag.Bool("netflow-listen", false, "receive NetFlow v5 on loopback UDP (address printed at startup) and stream windowed estimates on GET /v1/watch")
+		wwindowFlag  = flag.Duration("watch-window", time.Minute, "streaming: width of one observation window (with -netflow-listen)")
+		wcountFlag   = flag.Int("watch-windows", 3, "streaming: live windows kept before the oldest rotates out (with -netflow-listen)")
+		weveryFlag   = flag.Duration("watch-every", 30*time.Second, "streaming: re-estimation cadence (with -netflow-listen)")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*parallelFlag)
@@ -71,16 +82,57 @@ func main() {
 		Slots:     *slotsFlag,
 		MaxQueue:  *queueFlag,
 	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// -netflow-listen turns on the streaming side: a NetFlow v5 collector
+	// feeding the sliding-window pipeline behind GET /v1/watch. Vantages
+	// are keyed by exporter address; event time is the export header's
+	// UnixSecs, and a wall-clock ticker keeps estimates flowing through
+	// quiet periods (the pipeline's logical clock is the max of both).
+	var pipe *ingest.Pipeline
+	if *netflowFlag {
+		pipe = ingest.New(ingest.Config{
+			Window:  *wwindowFlag,
+			Windows: *wcountFlag,
+			Every:   *weveryFlag,
+		})
+		col, err := netflow.NewCollectorFunc(func(from *net.UDPAddr, r netflow.Record, at time.Time) {
+			src, err := pipe.Source(from.IP.String())
+			if err != nil {
+				src = -1 // beyond the 16-vantage table limit: Offer counts the drop
+			}
+			pipe.Offer(src, r.Src, at)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghostsd: netflow collector: %v\n", err)
+			os.Exit(1)
+		}
+		defer col.Close()
+		fmt.Fprintf(os.Stderr, "ghostsd: netflow collector on udp://%s, tick stream on GET /v1/watch\n", col.Addr())
+		go func() {
+			tick := time.NewTicker(*weveryFlag)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case now := <-tick.C:
+					pipe.Advance(now.UTC())
+				}
+			}
+		}()
+	}
+
 	srv := server.New(server.Config{
 		Front:          front,
 		MaxJobs:        *jobsFlag,
 		DrainTimeout:   *drainFlag,
 		ComputeTimeout: *computeFlag,
 		Recorder:       rec,
+		Watch:          pipe,
 	})
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	err := srv.Run(ctx, *addrFlag)
 	if *metricsFlag != "" {
 		rep := rec.Report(start, time.Now(), parallel.Workers())

@@ -1,0 +1,21 @@
+// Package ingest is the streaming estimation pipeline: it consumes capture
+// events from live feeds (the NetFlow collector, active probing) or from a
+// recorded pcap, maintains per-source observation sets over N sliding time
+// windows, and re-estimates the used population N̂ per window on a fixed
+// cadence, warm-starting each window's IRLS fit from its own previous
+// tick.
+//
+// All behaviour is driven by a logical event clock — the high-water
+// event timestamp — never by the system clock, so replaying a capture
+// yields a bit-identical tick series every run while live deployments
+// simply feed the wall clock through Pipeline.Advance. Windows are
+// half-open [start, start+Window) and aligned to multiples of Window since
+// the Unix epoch; rotation retires the oldest window by clearing its ring
+// slot, never by rescanning survivors. Ticks fan out synchronously to
+// Config.OnTick (replay output) and asynchronously to Subscribe channels
+// (the /v1/watch SSE endpoint), encoded by Tick.Encode under the
+// ghosts.watch/v1 schema.
+//
+// See STREAMING.md at the repository root for the architecture
+// walk-through and the SSE event contract.
+package ingest

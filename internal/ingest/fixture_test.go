@@ -1,0 +1,75 @@
+package ingest
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// fixtureConfig is the pipeline shape the committed fixture is pinned
+// under; scripts/ci.sh replays the same fixture through `ghosts -replay`
+// with matching flags, so the CLI and this test share one golden.
+func fixtureConfig(onTick func(*Tick)) Config {
+	return Config{
+		Window:  time.Minute,
+		Windows: 3,
+		Every:   30 * time.Second,
+		OnTick:  onTick,
+	}
+}
+
+// TestFixtureReplayGolden replays the committed capture and pins the full
+// tick series byte-for-byte. Drift here means the streaming estimator's
+// observable output changed — regenerate with `go test -run Fixture
+// -update ./internal/ingest` only when that is intended.
+func TestFixtureReplayGolden(t *testing.T) {
+	capture, err := os.ReadFile("testdata/stream.pcap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	p := New(fixtureConfig(func(tk *Tick) { out.Write(tk.Encode()) }))
+	st, err := Replay(bytes.NewReader(capture), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sources != 3 || st.Malformed != 0 {
+		t.Fatalf("fixture decoded oddly: %+v", st)
+	}
+	if *update {
+		if err := os.WriteFile("testdata/stream.golden", out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile("testdata/stream.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		got, exp := out.Bytes(), want
+		if len(got) > 400 {
+			got = got[:400]
+		}
+		if len(exp) > 400 {
+			exp = exp[:400]
+		}
+		t.Fatalf("fixture replay drifted from golden (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", got, exp)
+	}
+	// The final tick must carry an estimate beyond the union for at least
+	// one window — the fixture is built with partial per-monitor coverage
+	// precisely so there are ghosts to recover.
+	last := p.Last()
+	var estimated bool
+	for _, w := range last.Windows {
+		if w.Estimated && w.Estimate > float64(w.Observed) {
+			estimated = true
+		}
+	}
+	if !estimated {
+		t.Fatalf("no window in the final tick recovered unseen addresses: %s", last.Encode())
+	}
+}

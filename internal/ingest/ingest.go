@@ -1,0 +1,417 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ghosts/internal/core"
+	"ghosts/internal/ipset"
+	"ghosts/internal/ipv4"
+	"ghosts/internal/telemetry"
+)
+
+// MaxSources is the capture-history limit inherited from the estimator: a
+// contingency table supports at most 16 sources.
+const MaxSources = 16
+
+// Config assembles a Pipeline. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// Window is the width of one observation window; default 1 minute.
+	Window time.Duration
+	// Windows is the number of live windows kept (the ring size N);
+	// default 4. Events older than the oldest live window are dropped.
+	Windows int
+	// Every is the re-estimation cadence: a tick fires each time the
+	// event clock crosses a multiple of it. Default Window/2, so every
+	// window is re-estimated at least twice while it is still filling
+	// (which is what makes warm starts pay).
+	Every time.Duration
+	// Limit right-truncates each window's estimate (the routed-space
+	// bound); 0 means unbounded.
+	Limit float64
+	// Sources pre-registers source names in table order. Feeds may also
+	// register lazily through Pipeline.Source.
+	Sources []string
+	// OnTick, when non-nil, is invoked synchronously with every tick, in
+	// tick order, before channel subscribers see it. Replay uses it to
+	// emit a deterministic estimate series.
+	OnTick func(*Tick)
+}
+
+// WindowEstimate is one live window's state at a tick.
+type WindowEstimate struct {
+	Start    string   `json:"start"` // RFC 3339 UTC, inclusive
+	End      string   `json:"end"`   // RFC 3339 UTC, exclusive
+	Sources  int      `json:"sources"`
+	Observed int64    `json:"observed"`
+	Estimate float64  `json:"estimate"`
+	Unseen   float64  `json:"unseen"`
+	// Estimated is false when the window had fewer than two non-empty
+	// sources (the estimator cannot see past the union) or the fit
+	// failed; Estimate then equals Observed.
+	Estimated bool `json:"estimated"`
+	// Warm reports whether the fit was seeded from this window's previous
+	// tick's accepted coefficients (same selected model across ticks).
+	Warm  bool     `json:"warm"`
+	Model []string `json:"model,omitempty"`
+}
+
+// windowState is one slot of the window ring.
+type windowState struct {
+	index int64           // absolute window number (event time / width); -1 = unused
+	sets  []*ipset.Set    // per-source observation sets, indexed like names
+	warm  *core.FitResult // previous tick's accepted fit for this window
+	last  *WindowEstimate // previous tick's published estimate
+	dirty bool            // events arrived since last estimated
+}
+
+// Pipeline maintains per-source capture histograms over N sliding time
+// windows and re-estimates the used population N̂ per window on a fixed
+// cadence, warm-starting each window's IRLS fit from its previous tick.
+//
+// All of its behaviour is driven by the logical event clock — the largest
+// event (or Advance) timestamp seen so far — never by the system clock, so
+// replaying a capture file yields a bit-identical tick series every run.
+// Live feeds simply call Advance with the wall clock between events.
+type Pipeline struct {
+	cfg Config
+	est *core.Estimator
+
+	mu       sync.Mutex
+	names    []string
+	byName   map[string]int
+	ring     []windowState
+	newest   int64     // newest absolute window index; -1 before first event
+	clock    time.Time // high-water event time
+	started  bool      // an event or Advance has set the clock
+	nextTick int64     // absolute tick number to fire next
+	seq      int64
+	last     *Tick
+	subs     map[int]chan *Tick
+	nextSub  int
+	dropped  int64 // events dropped (late or source overflow)
+}
+
+// New builds a Pipeline from cfg.
+func New(cfg Config) *Pipeline {
+	if cfg.Window <= 0 {
+		cfg.Window = time.Minute
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = 4
+	}
+	if cfg.Every <= 0 {
+		cfg.Every = cfg.Window / 2
+	}
+	p := &Pipeline{
+		cfg:    cfg,
+		est:    core.DefaultEstimator(cfg.Limit), // ≤0 means unbounded
+		byName: make(map[string]int),
+		ring:   make([]windowState, cfg.Windows),
+		newest: -1,
+		subs:   make(map[int]chan *Tick),
+	}
+	for i := range p.ring {
+		p.ring[i].index = -1
+	}
+	for _, name := range cfg.Sources {
+		if _, err := p.sourceLocked(name); err != nil {
+			panic("ingest: " + err.Error())
+		}
+	}
+	return p
+}
+
+// Source returns the table index for the named source, registering it on
+// first use (registration order is table order, so a fixed event sequence
+// always yields the same table layout). It fails once MaxSources are
+// registered.
+func (p *Pipeline) Source(name string) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sourceLocked(name)
+}
+
+func (p *Pipeline) sourceLocked(name string) (int, error) {
+	if i, ok := p.byName[name]; ok {
+		return i, nil
+	}
+	if len(p.names) >= MaxSources {
+		return -1, fmt.Errorf("ingest: source %q exceeds the %d-source capture-history limit", name, MaxSources)
+	}
+	i := len(p.names)
+	p.names = append(p.names, name)
+	p.byName[name] = i
+	return i, nil
+}
+
+// Sources returns the registered source names in table order.
+func (p *Pipeline) Sources() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.names...)
+}
+
+// Offer ingests one capture event: source (a Source index) observed addr
+// at time t. The event lands in the window containing t — windows are
+// half-open [start, start+Window), so an event exactly on a boundary
+// belongs to the newer window only. Events older than the oldest live
+// window are dropped (counted in telemetry as ingest.dropped). Offer
+// advances the event clock, so it may fire due ticks and rotations first.
+func (p *Pipeline) Offer(source int, addr ipv4.Addr, t time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if source < 0 || source >= len(p.names) {
+		p.dropped++
+		telemetry.Active().IngestEventDropped()
+		return
+	}
+	p.advanceLocked(t)
+	idx := t.UnixNano() / int64(p.cfg.Window)
+	if idx <= p.newest-int64(len(p.ring)) {
+		// The event's window was already retired.
+		p.dropped++
+		telemetry.Active().IngestEventDropped()
+		return
+	}
+	w := &p.ring[int(idx%int64(len(p.ring)))]
+	if w.index != idx {
+		// Unreachable for idx == newest (advanceLocked opened it); an
+		// older live slot can still be unopened when the first event of
+		// that window arrives late but within the ring.
+		p.openLocked(idx)
+		w = &p.ring[int(idx%int64(len(p.ring)))]
+	}
+	if w.sets[source] == nil {
+		w.sets[source] = ipset.New()
+	}
+	w.sets[source].Add(addr)
+	w.dirty = true
+	telemetry.Active().IngestEvent()
+}
+
+// Advance moves the event clock to t (monotonically: an earlier t is a
+// no-op), firing any window rotations and re-estimation ticks that became
+// due. Live deployments call it from a wall-clock ticker so estimates keep
+// flowing through quiet periods; replay never needs to call it directly.
+func (p *Pipeline) Advance(t time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked(t)
+}
+
+// advanceLocked moves the clock forward, opening windows the clock has
+// entered and firing every tick boundary at or before the new clock. A
+// tick at boundary time T summarises exactly the events with time < T:
+// Offer advances the clock before inserting, so an event stamped exactly T
+// is ingested after the tick fires — consistent with half-open windows.
+func (p *Pipeline) advanceLocked(t time.Time) {
+	if p.started && !t.After(p.clock) {
+		return
+	}
+	if !p.started {
+		p.started = true
+		p.clock = t
+		// The first tick boundary strictly after the first event; ticks
+		// are aligned to multiples of Every since the epoch, like windows.
+		p.nextTick = t.UnixNano()/int64(p.cfg.Every) + 1
+		p.openLocked(t.UnixNano() / int64(p.cfg.Window))
+		return
+	}
+	// Fire every tick boundary in (clock, t], oldest first, rotating the
+	// ring to each boundary before estimating so a tick never reads a
+	// window the clock has already left behind the ring.
+	for {
+		boundary := p.nextTick * int64(p.cfg.Every)
+		if boundary > t.UnixNano() {
+			break
+		}
+		at := time.Unix(0, boundary).UTC()
+		p.clock = at
+		p.openLocked((boundary - 1) / int64(p.cfg.Window))
+		p.tickLocked(at)
+		p.nextTick++
+	}
+	p.clock = t
+	p.openLocked(t.UnixNano() / int64(p.cfg.Window))
+}
+
+// openLocked rotates the ring forward until window idx is live. Each
+// rotation clears exactly one slot — the retired window's sets are dropped
+// wholesale, never rescanned — so the surviving windows' histograms are
+// untouched and a fresh window always starts empty, even after a quiet
+// period that rotates several windows at once.
+func (p *Pipeline) openLocked(idx int64) {
+	if idx <= p.newest {
+		return
+	}
+	rotated := 0
+	if p.newest >= 0 {
+		from := idx - int64(len(p.ring))
+		if first := p.newest + 1; first > from {
+			from = first
+		}
+		rotated = int(idx - from + 1)
+	}
+	start := idx
+	if p.newest >= 0 && idx-p.newest < int64(len(p.ring)) {
+		start = p.newest + 1
+	} else if p.newest < 0 {
+		rotated = 0
+	}
+	if idx-start >= int64(len(p.ring)) {
+		start = idx - int64(len(p.ring)) + 1
+	}
+	for i := start; i <= idx; i++ {
+		w := &p.ring[int(i%int64(len(p.ring)))]
+		*w = windowState{index: i, sets: make([]*ipset.Set, MaxSources)}
+	}
+	p.newest = idx
+	telemetry.Active().IngestRotated(rotated)
+}
+
+// Flush fires one final tick at the current event clock, regardless of
+// cadence alignment, and returns it (nil when no event was ever ingested).
+// Replay calls it at EOF so a capture shorter than one cadence interval
+// still produces an estimate series.
+func (p *Pipeline) Flush() *Tick {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		return nil
+	}
+	return p.tickLocked(p.clock)
+}
+
+// Dropped returns the number of events discarded so far.
+func (p *Pipeline) Dropped() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Last returns the most recent tick (nil before the first).
+func (p *Pipeline) Last() *Tick {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last
+}
+
+// Subscribe registers a tick listener. The returned channel carries every
+// future tick (buffered; a slow consumer loses ticks rather than stalling
+// ingest, like any monitoring feed) and closes when cancel is called.
+func (p *Pipeline) Subscribe() (<-chan *Tick, func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextSub
+	p.nextSub++
+	ch := make(chan *Tick, 16)
+	p.subs[id] = ch
+	telemetry.Active().WatchSubscribed()
+	cancel := func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if c, ok := p.subs[id]; ok {
+			delete(p.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// tickLocked re-estimates every live window and publishes the tick.
+// Windows are processed oldest first; a window untouched since its last
+// estimate republishes the cached figures instead of refitting, and a
+// dirty window's fit seeds from its own previous tick's coefficients when
+// the selected model is unchanged (core.EstimateSweepPoint), which is
+// where the tick-over-tick cheapness comes from.
+func (p *Pipeline) tickLocked(at time.Time) *Tick {
+	t0 := time.Now()
+	p.seq++
+	tick := &Tick{
+		API:  WatchAPIVersion,
+		Kind: "tick",
+		Seq:  p.seq,
+		At:   at.UTC().Format(time.RFC3339Nano),
+	}
+	oldest := p.newest - int64(len(p.ring)) + 1
+	if oldest < 0 {
+		oldest = 0
+	}
+	for i := oldest; i <= p.newest; i++ {
+		w := &p.ring[int(i%int64(len(p.ring)))]
+		if w.index != i {
+			continue // never opened (no events, and the clock skipped it)
+		}
+		if !w.dirty && w.last != nil {
+			tick.Windows = append(tick.Windows, *w.last)
+			continue
+		}
+		we := p.estimateLocked(w)
+		w.last = &we
+		w.dirty = false
+		tick.Windows = append(tick.Windows, we)
+	}
+	p.last = tick
+	telemetry.Active().TickDone(time.Since(t0))
+	if p.cfg.OnTick != nil {
+		p.cfg.OnTick(tick)
+	}
+	for _, ch := range p.subs {
+		select {
+		case ch <- tick:
+		default:
+			telemetry.Active().IngestEventDropped()
+		}
+	}
+	return tick
+}
+
+// estimateLocked fits one window. The per-source sets are handed to the
+// estimator as-is — ipset.CaptureHistogram folds the paged bitmaps
+// directly, so no per-tick set copying or rescanning happens.
+func (p *Pipeline) estimateLocked(w *windowState) WindowEstimate {
+	start := time.Unix(0, w.index*int64(p.cfg.Window)).UTC()
+	we := WindowEstimate{
+		Start: start.Format(time.RFC3339Nano),
+		End:   start.Add(p.cfg.Window).Format(time.RFC3339Nano),
+	}
+	sets := make([]*ipset.Set, 0, len(p.names))
+	names := make([]string, 0, len(p.names))
+	var observed int64
+	for si, name := range p.names {
+		s := w.sets[si]
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		sets = append(sets, s)
+		names = append(names, name)
+	}
+	we.Sources = len(sets)
+	if len(sets) == 0 {
+		return we
+	}
+	tb := core.TableFromSets(sets, names)
+	observed = tb.Observed()
+	we.Observed = observed
+	we.Estimate = float64(observed)
+	if len(sets) < 2 {
+		return we // CR cannot see past a single source's union
+	}
+	res, fit, err := p.est.EstimateSweepPoint(tb, w.warm)
+	if err != nil {
+		return we
+	}
+	we.Warm = w.warm != nil && w.warm.Converged &&
+		w.warm.Model.Equal(res.Model) && len(w.warm.Coef) == res.Model.NumParams()
+	w.warm = fit
+	we.Estimated = true
+	we.Estimate = res.N
+	we.Unseen = res.Unseen
+	for _, h := range res.Model.Terms {
+		we.Model = append(we.Model, core.TermName(h))
+	}
+	return we
+}

@@ -1,0 +1,62 @@
+//go:build ignore
+
+// Command gen regenerates stream.pcap, the committed streaming fixture:
+// three monitors (10.0.0.1-3) logging ICMP echo requests from a 600-host
+// population across four one-minute windows. Deterministic — a fixed rng
+// seed drives both the event schedule and the per-monitor coverage — so
+// rerunning it reproduces the committed bytes exactly.
+//
+//	go run gen.go        # writes ./stream.pcap
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"ghosts/internal/ipv4"
+	"ghosts/internal/pcap"
+	"ghosts/internal/rng"
+	"ghosts/internal/wire"
+)
+
+func main() {
+	var buf bytes.Buffer
+	pw := pcap.NewWriter(&buf)
+	r := rng.New(20260808)
+	monitors := []ipv4.Addr{
+		ipv4.MustParseAddr("10.0.0.1"),
+		ipv4.MustParseAddr("10.0.0.2"),
+		ipv4.MustParseAddr("10.0.0.3"),
+	}
+	base := time.Unix(1700000000, 0).UTC()
+	packets := 0
+	for step := 0; step < 240; step++ { // four one-minute windows
+		at := base.Add(time.Duration(step) * time.Second)
+		for burst := 0; burst < 3; burst++ {
+			host := ipv4.Addr(0x0a010000 + uint32(r.Intn(600))) // 10.1.0.0/22 population
+			for mi, m := range monitors {
+				if !r.Bernoulli(0.55) {
+					continue
+				}
+				pkt := wire.EchoRequest(host, m, uint16(mi+1), uint16(step))
+				data, err := pkt.Marshal()
+				if err != nil {
+					panic(err)
+				}
+				if err := pw.WritePacket(at.Add(time.Duration(burst)*300*time.Millisecond), data); err != nil {
+					panic(err)
+				}
+				packets++
+			}
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile("stream.pcap", buf.Bytes(), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("stream.pcap: %d packets, %d bytes\n", packets, buf.Len())
+}

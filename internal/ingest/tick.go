@@ -1,0 +1,39 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// WatchAPIVersion identifies the tick wire schema carried by /v1/watch SSE
+// data frames and `ghosts -replay -json` output lines; bump on
+// incompatible change.
+const WatchAPIVersion = "ghosts.watch/v1"
+
+// Tick is one published estimate snapshot: every live window's state at a
+// single tick boundary, oldest window first. The same Tick value is handed
+// to OnTick, to Subscribe channels, and (encoded) to SSE clients, so all
+// consumers see identical figures.
+type Tick struct {
+	API     string           `json:"api"`
+	Kind    string           `json:"kind"` // always "tick"
+	Seq     int64            `json:"seq"`  // 1-based, dense
+	At      string           `json:"at"`   // RFC 3339 UTC tick boundary
+	Windows []WindowEstimate `json:"windows"`
+}
+
+// Encode renders the tick as one compact JSON line terminated by '\n'.
+// Field order is fixed by the struct layout and floats go through Go's
+// shortest-round-trip formatter, so equal ticks produce equal bytes —
+// replay determinism and the SSE path both lean on that.
+func (t *Tick) Encode() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(t); err != nil {
+		// A Tick holds only strings, numbers and bools; Encode cannot
+		// fail on one. Keep the signature allocation-friendly anyway.
+		panic("ingest: tick encode: " + err.Error())
+	}
+	return buf.Bytes()
+}

@@ -8,4 +8,8 @@
 // The main entry points are Marshal/Unmarshal (the wire codec over Header
 // and Record), Exporter (batches records into v5 datagrams) and Collector,
 // which listens, decodes, and accumulates observed source addresses.
+// NewCollectorFunc additionally taps every decoded record through a
+// RecordFunc callback stamped with the export header's timestamp — the
+// live event feed for the streaming ingest pipeline (internal/ingest,
+// STREAMING.md).
 package netflow

@@ -180,6 +180,7 @@ func (e *Exporter) Close() error {
 // source IPv4 addresses (the SWIN/CALT reduction of §4.1).
 type Collector struct {
 	conn *net.UDPConn
+	fn   RecordFunc
 
 	mu        sync.Mutex
 	srcs      *ipset.Set
@@ -187,9 +188,24 @@ type Collector struct {
 	malformed int64
 }
 
+// RecordFunc receives every decoded flow record along with the exporter's
+// address (the vantage that shipped it) and the export header timestamp
+// (UnixSecs — data-derived, so downstream windowing is deterministic for a
+// given export stream, not a function of collector arrival jitter). It is
+// called from the collector's read loop and must not block.
+type RecordFunc func(exporter *net.UDPAddr, rec Record, at time.Time)
+
 // NewCollector listens on 127.0.0.1 at an ephemeral port; Addr reports
 // where exporters should dial.
 func NewCollector() (*Collector, error) {
+	return NewCollectorFunc(nil)
+}
+
+// NewCollectorFunc is NewCollector with a per-record callback: the
+// streaming ingest pipeline hooks it to feed live flow records into
+// sliding-window histograms while the collector still maintains its
+// cumulative source set. A nil fn behaves exactly like NewCollector.
+func NewCollectorFunc(fn RecordFunc) (*Collector, error) {
 	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, err
@@ -198,7 +214,7 @@ func NewCollector() (*Collector, error) {
 	// reader loop drains it; ask for a few megabytes (the kernel may cap
 	// this — residual drops are part of the protocol's reality).
 	_ = conn.SetReadBuffer(8 << 20)
-	c := &Collector{conn: conn, srcs: ipset.New()}
+	c := &Collector{conn: conn, fn: fn, srcs: ipset.New()}
 	go c.loop()
 	return c, nil
 }
@@ -209,11 +225,11 @@ func (c *Collector) Addr() string { return c.conn.LocalAddr().String() }
 func (c *Collector) loop() {
 	buf := make([]byte, 65535)
 	for {
-		n, _, err := c.conn.ReadFromUDP(buf)
+		n, from, err := c.conn.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
-		_, recs, err := Unmarshal(buf[:n])
+		h, recs, err := Unmarshal(buf[:n])
 		c.mu.Lock()
 		if err != nil {
 			c.malformed++
@@ -224,6 +240,12 @@ func (c *Collector) loop() {
 			c.records += int64(len(recs))
 		}
 		c.mu.Unlock()
+		if err == nil && c.fn != nil {
+			at := time.Unix(int64(h.UnixSecs), 0).UTC()
+			for _, r := range recs {
+				c.fn(from, r, at)
+			}
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package netflow
 
 import (
+	"net"
 	"testing"
 	"testing/quick"
 	"time"
@@ -217,6 +218,58 @@ func BenchmarkUnmarshal30(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Unmarshal(buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestCollectorFunc: the per-record callback sees every record with the
+// exporter's address and the export header's UnixSecs timestamp — the
+// deterministic event time the streaming pipeline windows on.
+func TestCollectorFunc(t *testing.T) {
+	type event struct {
+		src ipv4.Addr
+		at  time.Time
+	}
+	events := make(chan event, 64)
+	col, err := NewCollectorFunc(func(from *net.UDPAddr, rec Record, at time.Time) {
+		if from == nil {
+			t.Error("nil exporter address")
+		}
+		events <- event{rec.Src, at}
+	})
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer col.Close()
+	h := Header{UnixSecs: 1700000123, FlowSeq: 1}
+	recs := []Record{
+		{Src: ipv4.MustParseAddr("10.0.0.1"), Proto: 6},
+		{Src: ipv4.MustParseAddr("10.0.0.2"), Proto: 17},
+	}
+	b, err := Marshal(h, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("udp4", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Unix(1700000123, 0).UTC()
+	for _, r := range recs {
+		select {
+		case ev := <-events:
+			if ev.src != r.Src {
+				t.Fatalf("callback saw %v, want %v", ev.src, r.Src)
+			}
+			if !ev.at.Equal(want) {
+				t.Fatalf("callback time %v, want header UnixSecs %v", ev.at, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("callback never fired")
 		}
 	}
 }

@@ -13,5 +13,8 @@
 // The main entry point is Census — configure the Transport, probe Kind and
 // window, then Run (or RunParallel) a sweep to collect the responding
 // address set; Classify is the §4.4 response-classification rule on its
-// own, and the Capture field streams probe traffic to a pcap.Writer.
+// own, the Capture field streams probe traffic to a pcap.Writer, and the
+// Observe hook reports each used-classified address as a timestamped
+// capture event (the active feed for the streaming ingest pipeline —
+// internal/ingest, STREAMING.md).
 package probe

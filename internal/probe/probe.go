@@ -49,6 +49,11 @@ type Census struct {
 	// format (raw-IP link type), timestamped on the simulated clock, for
 	// offline inspection with standard tools.
 	Capture *pcap.Writer
+	// Observe, when non-nil, receives every address a response classifies
+	// as used, stamped on the same simulated clock as Capture (the census
+	// end). The streaming ingest pipeline hooks it to fold an active
+	// census into its live windows alongside passive feeds.
+	Observe func(addr ipv4.Addr, at time.Time)
 }
 
 // Result summarises a census run.
@@ -167,6 +172,9 @@ func (c *Census) drainResponses(res *Result, timeout time.Duration) {
 		res.Replies++
 		if used, addr := Classify(pkt, c.Kind, c.ID); used {
 			res.Observed.Add(addr)
+			if c.Observe != nil {
+				c.Observe(addr, c.End)
+			}
 		} else {
 			res.Ignored++
 		}

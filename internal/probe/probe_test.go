@@ -359,3 +359,51 @@ func TestShardTargets(t *testing.T) {
 		t.Fatalf("unbalanced shards: %v", loads)
 	}
 }
+
+// TestCensusObserveHook: every address the census classifies as used is
+// also delivered to the Observe callback, stamped at the census end —
+// the feed contract the streaming ingest pipeline relies on.
+func TestCensusObserveHook(t *testing.T) {
+	u := universe.New(universe.TinyConfig(4))
+	var pfx ipv4.Prefix
+	u.UsedAt(censusEnd()).Range(func(a ipv4.Addr) bool {
+		pfx = ipv4.NewPrefix(a, 18)
+		return false
+	})
+	r := inet.NewResponder(u, 0, 7)
+	probeEnd, netEnd := inet.NewPair(1024)
+	go inet.Serve(netEnd, r, censusEnd)
+	defer probeEnd.Close()
+	seen := ipset.New()
+	var badStamp bool
+	c := &Census{
+		Transport: probeEnd,
+		Src:       ipv4.MustParseAddr("192.0.2.1"),
+		Kind:      ICMP,
+		Start:     censusEnd().AddDate(0, -6, 0),
+		End:       censusEnd(),
+		ID:        0xBEEF,
+		Observe: func(addr ipv4.Addr, at time.Time) {
+			seen.Add(addr)
+			if !at.Equal(censusEnd()) {
+				badStamp = true
+			}
+		},
+	}
+	res, err := c.Run([]ipv4.Prefix{pfx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badStamp {
+		t.Fatal("Observe stamped off the census-end clock")
+	}
+	if res.Observed.Len() == 0 {
+		t.Fatal("census observed nothing; universe misconfigured")
+	}
+	if d := ipset.Diff(res.Observed, seen); d.Len() != 0 {
+		t.Fatalf("%d observed addresses never reached the hook", d.Len())
+	}
+	if d := ipset.Diff(seen, res.Observed); d.Len() != 0 {
+		t.Fatalf("hook saw %d addresses the census did not count", d.Len())
+	}
+}

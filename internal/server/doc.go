@@ -2,9 +2,13 @@
 // request validation, the JSON error envelope, per-route telemetry and
 // graceful shutdown. It exposes the synchronous estimation API
 // (POST /v1/estimate, GET /v1/experiments), the async job API
-// (POST /v1/jobs, GET /v1/jobs/{id}), the /healthz and /readyz probes and
-// the standard /debug/vars + /debug/pprof surface, all on one mux. The
-// estimation semantics (caching, single-flight, admission control, the job
-// store) live in internal/serve; this package only translates HTTP to and
-// from it. SERVING.md documents every endpoint and schema.
+// (POST /v1/jobs, GET /v1/jobs/{id}), the streaming tick stream
+// (GET /v1/watch — server-sent events off an ingest.Pipeline; 404 when no
+// pipeline is configured), the /healthz and /readyz probes and the
+// standard /debug/vars + /debug/pprof surface, all on one mux. The
+// estimation semantics (caching, single-flight, admission control, the
+// job store) live in internal/serve and the streaming semantics in
+// internal/ingest; this package only translates HTTP to and from them.
+// SERVING.md documents every endpoint and schema; STREAMING.md covers the
+// tick stream.
 package server

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ghosts/internal/experiments"
+	"ghosts/internal/ingest"
 	"ghosts/internal/parallel"
 	"ghosts/internal/serve"
 	"ghosts/internal/telemetry"
@@ -49,6 +50,11 @@ type Config struct {
 	ComputeTimeout time.Duration
 	// Recorder, when set, is published as the live "telemetry" expvar.
 	Recorder *telemetry.Recorder
+	// Watch, when set, enables GET /v1/watch: the streaming pipeline whose
+	// ticks the endpoint relays as server-sent events. Nil (the default)
+	// means the route answers 404 — ghostsd without a live feed has no
+	// tick stream to serve.
+	Watch *ingest.Pipeline
 	// Log receives one line per lifecycle event; default os.Stderr.
 	Log io.Writer
 }
@@ -59,6 +65,7 @@ type Server struct {
 	mux            *http.ServeMux
 	front          *serve.Front
 	jobs           *serve.Jobs
+	watch          *ingest.Pipeline
 	ready          atomic.Bool
 	addr           atomic.Value // string; set once Run is listening
 	drainTimeout   time.Duration
@@ -75,6 +82,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		mux:            http.NewServeMux(),
 		front:          cfg.Front,
+		watch:          cfg.Watch,
 		drainTimeout:   cfg.DrainTimeout,
 		computeTimeout: cfg.ComputeTimeout,
 		log:            cfg.Log,
@@ -98,6 +106,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.instrument("jobs.submit", s.handleJobSubmit))
 	s.mux.HandleFunc("GET /v1/jobs", s.instrument("jobs.list", s.handleJobList))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs.get", s.handleJobGet))
+	s.mux.HandleFunc("GET /v1/watch", s.instrument("watch", s.handleWatch))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 
@@ -249,6 +258,14 @@ func (w *statusWriter) WriteHeader(code int) {
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers (/v1/watch
+// SSE) can push frames through the instrument layer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // errorEnvelope is the uniform error body.

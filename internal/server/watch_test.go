@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ghosts/internal/ingest"
+	"ghosts/internal/ipv4"
+)
+
+// feedWatchPipeline pushes two vantages' worth of events and fires ticks;
+// returns the pipeline and the canonical encodings OnTick observed.
+func feedWatchPipeline(t *testing.T) (*ingest.Pipeline, func() [][]byte) {
+	t.Helper()
+	var lines [][]byte
+	p := ingest.New(ingest.Config{
+		Window:  time.Minute,
+		Windows: 3,
+		Every:   30 * time.Second,
+		Sources: []string{"v1", "v2"},
+		OnTick:  func(tk *ingest.Tick) { lines = append(lines, tk.Encode()) },
+	})
+	a, _ := p.Source("v1")
+	b, _ := p.Source("v2")
+	base := time.Unix(1700000000, 0).UTC()
+	for i := uint32(0); i < 30; i++ {
+		at := base.Add(time.Duration(i) * 2 * time.Second)
+		p.Offer(a, ipv4.Addr(0x0a000000+i), at)
+		p.Offer(b, ipv4.Addr(0x0a000000+i+15), at)
+	}
+	p.Advance(base.Add(2 * time.Minute))
+	if len(lines) == 0 {
+		t.Fatal("pipeline fired no ticks")
+	}
+	return p, func() [][]byte { return lines }
+}
+
+// readSSEEvent parses one "event: tick" frame; returns id and data.
+func readSSEEvent(t *testing.T, br *bufio.Reader) (id string, data []byte) {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE frame: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "" && data != nil:
+			return id, data
+		case strings.HasPrefix(line, "id: "):
+			id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case strings.HasPrefix(line, "event: "):
+			if ev := strings.TrimPrefix(line, "event: "); ev != "tick" {
+				t.Fatalf("unexpected SSE event type %q", ev)
+			}
+		}
+	}
+}
+
+// TestWatchSSEMatchesPipeline: the /v1/watch stream must replay the last
+// tick on subscribe and relay new ticks, each data line byte-identical to
+// the tick's canonical ghosts.watch/v1 encoding — the same bytes
+// `ghosts -replay -json` prints.
+func TestWatchSSEMatchesPipeline(t *testing.T) {
+	p, ticks := feedWatchPipeline(t)
+	_, ts := newTestServer(t, Config{Watch: p})
+	resp, err := http.Get(ts.URL + "/v1/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	// Frame 1: the replayed last tick.
+	id, data := readSSEEvent(t, br)
+	lines := ticks()
+	last := lines[len(lines)-1]
+	if want := bytes.TrimSuffix(last, []byte("\n")); !bytes.Equal(data, want) {
+		t.Fatalf("replayed tick differs from canonical encoding:\n got %s\nwant %s", data, want)
+	}
+	if id == "" || id == "0" {
+		t.Fatalf("missing SSE id, got %q", id)
+	}
+	// Ticks fired after subscribe must arrive in order, each with the
+	// same bytes the pipeline's own OnTick callback saw.
+	before := len(ticks())
+	p.Advance(time.Unix(1700000000, 0).UTC().Add(3 * time.Minute))
+	fresh := ticks()[before:]
+	if len(fresh) == 0 {
+		t.Fatal("Advance fired no ticks")
+	}
+	for i, wantLine := range fresh {
+		_, next := readSSEEvent(t, br)
+		if want := bytes.TrimSuffix(wantLine, []byte("\n")); !bytes.Equal(next, want) {
+			t.Fatalf("streamed tick %d differs from canonical encoding:\n got %s\nwant %s", i, next, want)
+		}
+	}
+}
+
+// TestWatchDisabled: without a pipeline the route answers a 404 envelope,
+// not a hang.
+func TestWatchDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(body, []byte("watch_disabled")) {
+		t.Fatalf("body: %s", body)
+	}
+}
+
+// TestWatchClientDisconnect: closing the client must release the
+// subscription so the pipeline does not accumulate dead channels.
+func TestWatchClientDisconnect(t *testing.T) {
+	p, _ := feedWatchPipeline(t)
+	_, ts := newTestServer(t, Config{Watch: p})
+	resp, err := http.Get(ts.URL + "/v1/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	readSSEEvent(t, br) // ensure the handler is streaming
+	resp.Body.Close()
+	// After disconnect, ticks must keep publishing without blocking even
+	// though the subscriber is gone (its channel fills, then drops): 40
+	// ticks overflow the 16-slot buffer several times over.
+	base := time.Unix(1700000000, 0).UTC().Add(10 * time.Minute)
+	for i := 0; i < 40; i++ {
+		p.Advance(base.Add(time.Duration(i) * time.Minute))
+	}
+}

@@ -12,8 +12,10 @@
 // The main entry points are NewRecorder, Enable/Disable/Active (the
 // process-wide recorder used by the instrumented hot paths), the nil-safe
 // Recorder methods called from stats.FitPoissonGLMFlat, core.SelectModel,
-// core.BootstrapInterval, crossval.Run, experiments.Env and
-// parallel.ForEach, and Recorder.Report, which snapshots everything into a
+// core.BootstrapInterval, crossval.Run, experiments.Env,
+// parallel.ForEach, the serving layer (serve/server) and the streaming
+// pipeline (ingest.Pipeline: event, drop and rotation counters, the
+// per-tick latency histogram, watch subscriptions), and Recorder.Report, which snapshots everything into a
 // Report (timestamps are injected by the caller so the JSON is
 // replayable). Recorder.StartProgress prints periodic one-line progress
 // summaries.

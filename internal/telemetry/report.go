@@ -29,6 +29,8 @@ type Report struct {
 	Boot     BootstrapReport `json:"bootstrap"`
 	Parallel ParallelReport  `json:"parallel"`
 	Serve    ServeReport     `json:"serve"`
+	Ingest   IngestReport    `json:"ingest"`
+	Watch    WatchReport     `json:"watch"`
 	Phases   []PhaseReport   `json:"phases"`
 }
 
@@ -103,6 +105,22 @@ type ServeReport struct {
 	Panics         int64             `json:"panics"`
 	Canceled       int64             `json:"canceled"`
 	TimedOut       int64             `json:"timed_out"`
+}
+
+// IngestReport summarises the streaming ingest pipeline (metric prefix
+// ingest): event intake, window rotation, and per-tick re-estimation
+// latency. Zero unless the process runs an internal/ingest pipeline
+// (ghostsd with a live feed, or ghosts -replay).
+type IngestReport struct {
+	Events    int64             `json:"events"`
+	Dropped   int64             `json:"dropped"`
+	Rotations int64             `json:"rotations"`
+	TickUS    HistogramSnapshot `json:"tick_us"`
+}
+
+// WatchReport summarises the /v1/watch SSE endpoint (metric prefix watch).
+type WatchReport struct {
+	Subscribers int64 `json:"subscribers"`
 }
 
 // PhaseReport is one named pipeline phase (metric prefix phase).
@@ -182,6 +200,13 @@ func (r *Recorder) Report(started, finished time.Time, workers int) *Report {
 		Canceled:       r.RequestsCanceled.Load(),
 		TimedOut:       r.RequestsTimedOut.Load(),
 	}
+	rep.Ingest = IngestReport{
+		Events:    r.IngestEvents.Load(),
+		Dropped:   r.IngestDropped.Load(),
+		Rotations: r.IngestRotations.Load(),
+		TickUS:    r.TickLatencyUS.Snapshot(),
+	}
+	rep.Watch = WatchReport{Subscribers: r.WatchSubscribers.Load()}
 	for _, name := range r.phaseNames() {
 		p := r.phase(name)
 		rep.Phases = append(rep.Phases, PhaseReport{

@@ -51,6 +51,15 @@ func populate() *Recorder {
 	r.RequestCanceled()
 	r.RequestCanceled()
 	r.RequestTimedOut()
+	r.IngestEvent()
+	r.IngestEvent()
+	r.IngestEvent()
+	r.IngestEventDropped()
+	r.IngestRotated(2)
+	r.IngestRotated(0) // no-op: nothing rotated
+	r.TickDone(3 * time.Millisecond)
+	r.TickDone(5 * time.Millisecond)
+	r.WatchSubscribed()
 	return r
 }
 
@@ -166,6 +175,30 @@ const goldenReport = `{
     "canceled": 2,
     "timed_out": 1
   },
+  "ingest": {
+    "events": 3,
+    "dropped": 1,
+    "rotations": 2,
+    "tick_us": {
+      "count": 2,
+      "sum": 8000,
+      "mean": 4000,
+      "max": 5000,
+      "buckets": [
+        {
+          "le": 4095,
+          "n": 1
+        },
+        {
+          "le": 8191,
+          "n": 1
+        }
+      ]
+    }
+  },
+  "watch": {
+    "subscribers": 1
+  },
   "phases": [
     {
       "name": "env.estimates",
@@ -239,7 +272,8 @@ func TestReportValidJSONRoundTrip(t *testing.T) {
 	if back.Schema != Schema {
 		t.Fatalf("schema = %q, want %q", back.Schema, Schema)
 	}
-	if back.Fit.Count != 2 || back.Pool.HitRate != 0.75 || back.Serve.Requests != 2 || len(back.Phases) != 3 {
+	if back.Fit.Count != 2 || back.Pool.HitRate != 0.75 || back.Serve.Requests != 2 ||
+		back.Ingest.Events != 3 || back.Watch.Subscribers != 1 || len(back.Phases) != 3 {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
 }

@@ -206,6 +206,13 @@ type Recorder struct {
 	RequestsCanceled Counter // estimates abandoned because the client went away (499)
 	RequestsTimedOut Counter // estimates that hit the compute deadline (504)
 
+	// Streaming ingest (internal/ingest pipeline, /v1/watch SSE).
+	IngestEvents     Counter   // capture events accepted into a live window
+	IngestDropped    Counter   // events discarded (late arrivals, source overflow)
+	IngestRotations  Counter   // window rotations (oldest window retired)
+	TickLatencyUS    Histogram // per-tick re-estimation latency, microseconds
+	WatchSubscribers Counter   // /v1/watch SSE subscriptions opened
+
 	mu     sync.Mutex
 	phases map[string]*Phase
 }
@@ -436,6 +443,49 @@ func (r *Recorder) RequestTimedOut() {
 		return
 	}
 	r.RequestsTimedOut.Inc()
+}
+
+// IngestEvent records one capture event accepted into a live window of the
+// streaming ingest pipeline.
+func (r *Recorder) IngestEvent() {
+	if r == nil {
+		return
+	}
+	r.IngestEvents.Inc()
+}
+
+// IngestEventDropped records a capture event the ingest pipeline discarded:
+// it arrived after its window was retired, or no source slot was free.
+func (r *Recorder) IngestEventDropped() {
+	if r == nil {
+		return
+	}
+	r.IngestDropped.Inc()
+}
+
+// IngestRotated records n window rotations (each retires the oldest live
+// window and opens a fresh one; a quiet period can rotate several at once).
+func (r *Recorder) IngestRotated(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.IngestRotations.Add(int64(n))
+}
+
+// TickDone records one streaming re-estimation tick's wall latency.
+func (r *Recorder) TickDone(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.TickLatencyUS.Observe(int64(d / time.Microsecond))
+}
+
+// WatchSubscribed records a new /v1/watch SSE subscription.
+func (r *Recorder) WatchSubscribed() {
+	if r == nil {
+		return
+	}
+	r.WatchSubscribers.Inc()
 }
 
 // JobFinished records one async job reaching a terminal state; ok is false

@@ -109,6 +109,19 @@ if [ -z "${GHOSTS_BENCH_NO_TELEMETRY:-}" ]; then
     go run ./cmd/ghosts -exp summary -scale tiny -metrics "$TELEMETRY" > /dev/null
 fi
 
+# Streaming replay snapshot: run the committed pcap fixture through the
+# ingest pipeline (`ghosts -replay`) with telemetry on. The report's
+# ingest section carries the per-tick re-estimation latency histogram
+# (ingest.tick_us) and the glm_fit section the warm-start counters, so the
+# streaming path's cost is tracked PR over PR alongside batch and serve.
+# Set GHOSTS_BENCH_NO_STREAM=1 to skip it.
+if [ -z "${GHOSTS_BENCH_NO_STREAM:-}" ]; then
+    STREAMOUT="$STEM.stream.json"
+    go run ./cmd/ghosts -replay internal/ingest/testdata/stream.pcap -json \
+        -metrics "$STREAMOUT" > /dev/null 2> /dev/null
+    echo "wrote $STREAMOUT"
+fi
+
 # Server-side latency snapshot: boot ghostsd on a random port, replay a
 # small request mix (cold computes, cache hits, a distinct table), then
 # shut down; the telemetry report it writes carries the serve section

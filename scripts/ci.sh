@@ -48,6 +48,36 @@ echo "== deadlock smoke =="
 # -timeout turns any reintroduced deadlock into a loud failure, not a hang.
 go test -race -run 'TestDeadlockSmoke' -count=1 -timeout 90s ./internal/serve
 
+echo "== streaming ingest (-race) =="
+# The ingest pipeline is shared mutable state between feed goroutines,
+# the tick loop and SSE subscribers; its suite runs race-enabled and
+# uncached as its own named gate (STREAMING.md documents the pipeline).
+go test -race -count=1 ./internal/ingest
+
+echo "== streaming replay smoke =="
+# Replay the committed capture fixture twice through `ghosts -replay
+# -json`: the runs must be byte-identical (replay determinism), match the
+# committed golden tick series, and the telemetry report must show
+# warm-started sweep fits — the cadence-under-window design actually
+# paying off (STREAMING.md "Warm starts").
+RSDIR="$(mktemp -d)"
+cleanup_replay() { rm -rf "$RSDIR"; }
+trap cleanup_replay EXIT
+go build -o "$RSDIR/ghosts" ./cmd/ghosts
+"$RSDIR/ghosts" -replay internal/ingest/testdata/stream.pcap -json \
+    -metrics "$RSDIR/replay.metrics.json" > "$RSDIR/replay1.jsonl" 2> /dev/null
+"$RSDIR/ghosts" -replay internal/ingest/testdata/stream.pcap -json \
+    > "$RSDIR/replay2.jsonl" 2> /dev/null
+cmp -s "$RSDIR/replay1.jsonl" "$RSDIR/replay2.jsonl" \
+    || { echo "replay is not deterministic across runs" >&2; exit 1; }
+cmp -s "$RSDIR/replay1.jsonl" internal/ingest/testdata/stream.golden \
+    || { echo "replay drifted from the committed golden series" >&2; exit 1; }
+grep -q '"sweep_warm_starts": [1-9]' "$RSDIR/replay.metrics.json" \
+    || { echo "replay never warm-started a fit" >&2; exit 1; }
+cleanup_replay
+trap - EXIT
+echo "streaming replay smoke OK"
+
 echo "== ghostsd smoke =="
 # Build the daemon, boot it on a random port, hit the health probe and one
 # estimate, then check it shuts down cleanly on SIGTERM (exit 0).
