@@ -97,7 +97,18 @@ func main() {
 			Windows: *wcountFlag,
 			Every:   *weveryFlag,
 		})
+		// The header timestamp is attacker-controlled wire input: one
+		// datagram stamped far in the future would drag the pipeline's
+		// monotonic logical clock there for good, turning every genuine
+		// event into a late drop. Ordinary exporter clock skew is seconds;
+		// reject anything further ahead of the wall clock than that, with
+		// a margin (the drop is counted in ingest.dropped).
+		const maxFutureSkew = 5 * time.Minute
 		col, err := netflow.NewCollectorFunc(func(from *net.UDPAddr, r netflow.Record, at time.Time) {
+			if at.After(time.Now().Add(maxFutureSkew)) {
+				telemetry.Active().IngestEventDropped()
+				return
+			}
 			src, err := pipe.Source(from.IP.String())
 			if err != nil {
 				src = -1 // beyond the 16-vantage table limit: Offer counts the drop

@@ -42,12 +42,12 @@ type Config struct {
 
 // WindowEstimate is one live window's state at a tick.
 type WindowEstimate struct {
-	Start    string   `json:"start"` // RFC 3339 UTC, inclusive
-	End      string   `json:"end"`   // RFC 3339 UTC, exclusive
-	Sources  int      `json:"sources"`
-	Observed int64    `json:"observed"`
-	Estimate float64  `json:"estimate"`
-	Unseen   float64  `json:"unseen"`
+	Start    string  `json:"start"` // RFC 3339 UTC, inclusive
+	End      string  `json:"end"`   // RFC 3339 UTC, exclusive
+	Sources  int     `json:"sources"`
+	Observed int64   `json:"observed"`
+	Estimate float64 `json:"estimate"`
+	Unseen   float64 `json:"unseen"`
 	// Estimated is false when the window had fewer than two non-empty
 	// sources (the estimator cannot see past the union) or the fit
 	// failed; Estimate then equals Observed.
@@ -178,11 +178,14 @@ func (p *Pipeline) Offer(source int, addr ipv4.Addr, t time.Time) {
 	}
 	w := &p.ring[int(idx%int64(len(p.ring)))]
 	if w.index != idx {
-		// Unreachable for idx == newest (advanceLocked opened it); an
-		// older live slot can still be unopened when the first event of
-		// that window arrives late but within the ring.
-		p.openLocked(idx)
-		w = &p.ring[int(idx%int64(len(p.ring)))]
+		// advanceLocked opened the window containing t, so idx == newest
+		// always finds its slot; an older live window's slot can still be
+		// unopened (index -1, or a stale index after a clock jump larger
+		// than the ring) when that window's first event arrives late but
+		// within the ring. Each live-range index maps to exactly one slot,
+		// and openLocked is a no-op for idx <= newest, so (re)initialize
+		// the slot in place.
+		*w = windowState{index: idx, sets: make([]*ipset.Set, MaxSources)}
 	}
 	if w.sets[source] == nil {
 		w.sets[source] = ipset.New()
@@ -233,6 +236,17 @@ func (p *Pipeline) advanceLocked(t time.Time) {
 		p.openLocked((boundary - 1) / int64(p.cfg.Window))
 		p.tickLocked(at)
 		p.nextTick++
+		// A clock jump longer than the whole ring (a quiet feed, or a
+		// far-future event stamp) must not fire one tick per boundary
+		// crossed: every boundary more than one ring span behind t would
+		// summarise only windows that are empty and retired before the
+		// clock reaches t, and the tick just fired already flushed
+		// everything that was live. Skip straight to the last ring span,
+		// which bounds the ticks per Advance at Windows*Window/Every + 1.
+		span := int64(len(p.ring)) * int64(p.cfg.Window)
+		if horizon := (t.UnixNano() - span) / int64(p.cfg.Every); horizon > p.nextTick {
+			p.nextTick = horizon
+		}
 	}
 	p.clock = t
 	p.openLocked(t.UnixNano() / int64(p.cfg.Window))
@@ -247,19 +261,25 @@ func (p *Pipeline) openLocked(idx int64) {
 	if idx <= p.newest {
 		return
 	}
+	// A rotation is a previously live window falling out of the live
+	// range: a window the ring actually held (slot opened, index in the
+	// outgoing live range) whose index is older than the incoming range.
+	// Counting by slot keeps ring-filling at zero (unopened slots hold
+	// index -1) and never double-counts a stale slot left behind by an
+	// earlier jump larger than the ring.
 	rotated := 0
 	if p.newest >= 0 {
-		from := idx - int64(len(p.ring))
-		if first := p.newest + 1; first > from {
-			from = first
+		oldOldest := p.newest - int64(len(p.ring)) + 1
+		newOldest := idx - int64(len(p.ring)) + 1
+		for i := range p.ring {
+			if ix := p.ring[i].index; ix >= 0 && ix >= oldOldest && ix < newOldest {
+				rotated++
+			}
 		}
-		rotated = int(idx - from + 1)
 	}
 	start := idx
 	if p.newest >= 0 && idx-p.newest < int64(len(p.ring)) {
 		start = p.newest + 1
-	} else if p.newest < 0 {
-		rotated = 0
 	}
 	if idx-start >= int64(len(p.ring)) {
 		start = idx - int64(len(p.ring)) + 1
@@ -363,7 +383,7 @@ func (p *Pipeline) tickLocked(at time.Time) *Tick {
 		select {
 		case ch <- tick:
 		default:
-			telemetry.Active().IngestEventDropped()
+			telemetry.Active().WatchTickShed()
 		}
 	}
 	return tick

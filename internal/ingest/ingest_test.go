@@ -132,6 +132,98 @@ func TestLateEventDropped(t *testing.T) {
 	}
 }
 
+// TestLateEventWithinRing: an event for an older window that is still
+// inside the live ring but whose slot was never opened (its window's first
+// event arrives after the clock already passed it) must be counted, not
+// panic — the startup shape is Offer at window N, then window N-1.
+func TestLateEventWithinRing(t *testing.T) {
+	p := New(Config{Window: time.Minute, Windows: 4, Every: time.Minute, Sources: []string{"a"}})
+	a, _ := p.Source("a")
+	base := time.Unix(6000, 0).UTC()
+	p.Offer(a, addr(1), base)                   // first event: window N
+	p.Offer(a, addr(2), base.Add(-time.Second)) // late but within the ring: window N-1
+	if got := p.Dropped(); got != 0 {
+		t.Fatalf("dropped = %d, want 0 (event was within the live ring)", got)
+	}
+	tk := p.Flush()
+	counts := map[string]int64{}
+	for _, w := range tk.Windows {
+		counts[w.Start] = w.Observed
+	}
+	if got := counts[base.Add(-time.Minute).Format(time.RFC3339Nano)]; got != 1 {
+		t.Fatalf("late event's window observed %d, want 1", got)
+	}
+	if got := counts[base.Format(time.RFC3339Nano)]; got != 1 {
+		t.Fatalf("first window observed %d, want 1", got)
+	}
+}
+
+// TestRotationsCountRetiredOnly: filling the ring for the first time is
+// not a rotation; only a live window falling out of the ring counts, and
+// a quiet gap retires at most the ring size — never one per window
+// skipped.
+func TestRotationsCountRetiredOnly(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+	defer telemetry.Disable()
+	p := New(Config{Window: time.Minute, Windows: 3, Every: time.Minute, Sources: []string{"a"}})
+	a, _ := p.Source("a")
+	base := time.Unix(0, 0).UTC()
+	p.Offer(a, addr(1), base.Add(time.Second))
+	p.Offer(a, addr(2), base.Add(time.Minute+time.Second))
+	p.Offer(a, addr(3), base.Add(2*time.Minute+time.Second))
+	if got := rec.IngestRotations.Load(); got != 0 {
+		t.Fatalf("rotations = %d while the ring was still filling, want 0", got)
+	}
+	p.Offer(a, addr(4), base.Add(3*time.Minute+time.Second)) // retires window 0
+	if got := rec.IngestRotations.Load(); got != 1 {
+		t.Fatalf("rotations = %d after first retirement, want 1", got)
+	}
+	// A quiet gap of 20 windows retires the 3 live windows plus the few
+	// empty ones the clock opens while walking the final ring span —
+	// never anything close to one per window skipped.
+	p.Advance(base.Add(23 * time.Minute))
+	if got := rec.IngestRotations.Load(); got < 4 || got > 10 {
+		t.Fatalf("rotations = %d after a 20-window quiet gap, want 4..10 (not one per skipped window)", got)
+	}
+}
+
+// TestClockJumpBounded: one event stamped absurdly far in the future must
+// not fire a tick per cadence boundary crossed — ticks per Advance are
+// bounded by the ring span over the cadence, so a hostile timestamp cannot
+// stall the pipeline.
+func TestClockJumpBounded(t *testing.T) {
+	var ticks int
+	p := New(Config{
+		Window:  time.Minute,
+		Windows: 4,
+		Every:   30 * time.Second,
+		Sources: []string{"a"},
+		OnTick:  func(*Tick) { ticks++ },
+	})
+	a, _ := p.Source("a")
+	base := time.Unix(0, 0).UTC()
+	p.Offer(a, addr(1), base.Add(time.Second))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Offer(a, addr(2), time.Unix(0xFFFFFFFF, 0).UTC()) // year 2106
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("far-future event stalled the pipeline (tick per boundary crossed)")
+	}
+	// One tick flushing the pre-jump state plus at most one ring span of
+	// boundaries at the far end — versus the ~143 million the bug fired.
+	if ticks > 12 {
+		t.Fatalf("fired %d ticks across the jump, want <= 12", ticks)
+	}
+	if tk := p.Flush(); tk == nil || tk.Windows[len(tk.Windows)-1].Observed != 1 {
+		t.Fatalf("post-jump event lost: %+v", p.Last())
+	}
+}
+
 // TestTickCadenceAndSeq: ticks fire once per Every boundary crossed, in
 // order, with dense sequence numbers, even when one Advance jumps several
 // boundaries.
@@ -306,7 +398,8 @@ func TestEncodeDeterministic(t *testing.T) {
 
 // buildCapture writes a small raw-IP pcap where three monitors each log
 // echo-requests from a Bernoulli sample of the population, spread over
-// several windows.
+// several windows — more windows than the replay ring holds, so at least
+// one live window retires during the replay.
 func buildCapture(t *testing.T, seed uint64) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -318,7 +411,7 @@ func buildCapture(t *testing.T, seed uint64) []byte {
 		ipv4.MustParseAddr("10.0.0.3"),
 	}
 	base := time.Unix(1700000000, 0).UTC()
-	for step := 0; step < 150; step++ {
+	for step := 0; step < 250; step++ {
 		at := base.Add(time.Duration(step) * time.Second)
 		host := addr(uint32(r.Intn(200)) + 256)
 		for mi, m := range monitors {
@@ -377,7 +470,7 @@ func TestReplayDeterministic(t *testing.T) {
 		t.Fatalf("clean capture reported malformed=%d dropped=%d", st1.Malformed, st1.Dropped)
 	}
 	if st1.Ticks < 4 {
-		t.Fatalf("capture spanning 150s at 30s cadence fired only %d ticks", st1.Ticks)
+		t.Fatalf("capture spanning 250s at 30s cadence fired only %d ticks", st1.Ticks)
 	}
 	if bytes.Count(out1, []byte("\n")) != int(st1.Ticks) {
 		t.Fatalf("output lines %d != ticks %d", bytes.Count(out1, []byte("\n")), st1.Ticks)
@@ -402,6 +495,42 @@ func TestReplayWarmStarts(t *testing.T) {
 	}
 	if !bytes.Contains(out, []byte(`"warm":true`)) {
 		t.Fatal("no tick reported a warm window")
+	}
+}
+
+// TestReplaySourceLimit: packets whose vantage falls beyond the 16-source
+// table limit decoded fine — they are pipeline drops, not malformed.
+func TestReplaySourceLimit(t *testing.T) {
+	var buf bytes.Buffer
+	pw := pcap.NewWriter(&buf)
+	at := time.Unix(1700000000, 0).UTC()
+	for i := 0; i < MaxSources+2; i++ {
+		monitor := ipv4.Addr(0x0b000000 + uint32(i)) // 11.0.0.i: one vantage per packet
+		pkt := wire.EchoRequest(addr(uint32(100+i)), monitor, uint16(i+1), 1)
+		data, err := pkt.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pw.WritePacket(at.Add(time.Duration(i)*time.Second), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{Window: time.Minute, Every: 30 * time.Second})
+	st, err := Replay(bytes.NewReader(buf.Bytes()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Malformed != 0 {
+		t.Fatalf("over-limit vantages counted as malformed: %+v", st)
+	}
+	if st.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (the vantages beyond the table limit)", st.Dropped)
+	}
+	if st.Sources != MaxSources {
+		t.Fatalf("registered %d vantages, want %d", st.Sources, MaxSources)
 	}
 }
 

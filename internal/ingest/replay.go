@@ -12,7 +12,7 @@ import (
 type ReplayStats struct {
 	Packets   int64 // packets read from the capture
 	Malformed int64 // packets that failed IPv4 decoding (skipped)
-	Dropped   int64 // decoded events the pipeline discarded
+	Dropped   int64 // decoded events the pipeline discarded (late, or beyond the source-table limit)
 	Ticks     int64 // ticks fired, including the final flush
 	Sources   int   // vantages discovered
 }
@@ -55,9 +55,11 @@ func Replay(r io.Reader, p *Pipeline) (*ReplayStats, error) {
 		}
 		src, err := p.Source(w.IP.Dst.String())
 		if err != nil {
-			// Beyond the 16-source table limit: count, keep going.
-			st.Malformed++
-			continue
+			// Beyond the 16-source table limit: the packet decoded fine,
+			// so it is not malformed — hand it to Offer with an invalid
+			// index, which counts it as a pipeline drop exactly like the
+			// live NetFlow path does.
+			src = -1
 		}
 		p.Offer(src, w.IP.Src, pkt.Time)
 	}

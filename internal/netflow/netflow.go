@@ -191,8 +191,11 @@ type Collector struct {
 // RecordFunc receives every decoded flow record along with the exporter's
 // address (the vantage that shipped it) and the export header timestamp
 // (UnixSecs — data-derived, so downstream windowing is deterministic for a
-// given export stream, not a function of collector arrival jitter). It is
-// called from the collector's read loop and must not block.
+// given export stream, not a function of collector arrival jitter). The
+// timestamp is copied from the wire without validation: consumers driving
+// a clock from it must bound how far it may run ahead of the wall clock,
+// as cmd/ghostsd does. It is called from the collector's read loop and
+// must not block.
 type RecordFunc func(exporter *net.UDPAddr, rec Record, at time.Time)
 
 // NewCollector listens on 127.0.0.1 at an ephemeral port; Addr reports

@@ -15,7 +15,8 @@
 // core.BootstrapInterval, crossval.Run, experiments.Env,
 // parallel.ForEach, the serving layer (serve/server) and the streaming
 // pipeline (ingest.Pipeline: event, drop and rotation counters, the
-// per-tick latency histogram, watch subscriptions), and Recorder.Report, which snapshots everything into a
+// per-tick latency histogram, watch subscriptions and shed tick
+// frames), and Recorder.Report, which snapshots everything into a
 // Report (timestamps are injected by the caller so the JSON is
 // replayable). Recorder.StartProgress prints periodic one-line progress
 // summaries.

@@ -121,6 +121,7 @@ type IngestReport struct {
 // WatchReport summarises the /v1/watch SSE endpoint (metric prefix watch).
 type WatchReport struct {
 	Subscribers int64 `json:"subscribers"`
+	TicksShed   int64 `json:"ticks_shed"` // frames dropped on full subscriber buffers
 }
 
 // PhaseReport is one named pipeline phase (metric prefix phase).
@@ -206,7 +207,10 @@ func (r *Recorder) Report(started, finished time.Time, workers int) *Report {
 		Rotations: r.IngestRotations.Load(),
 		TickUS:    r.TickLatencyUS.Snapshot(),
 	}
-	rep.Watch = WatchReport{Subscribers: r.WatchSubscribers.Load()}
+	rep.Watch = WatchReport{
+		Subscribers: r.WatchSubscribers.Load(),
+		TicksShed:   r.WatchTicksShed.Load(),
+	}
 	for _, name := range r.phaseNames() {
 		p := r.phase(name)
 		rep.Phases = append(rep.Phases, PhaseReport{

@@ -60,6 +60,8 @@ func populate() *Recorder {
 	r.TickDone(3 * time.Millisecond)
 	r.TickDone(5 * time.Millisecond)
 	r.WatchSubscribed()
+	r.WatchTickShed()
+	r.WatchTickShed()
 	return r
 }
 
@@ -197,7 +199,8 @@ const goldenReport = `{
     }
   },
   "watch": {
-    "subscribers": 1
+    "subscribers": 1,
+    "ticks_shed": 2
   },
   "phases": [
     {

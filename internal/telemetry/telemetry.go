@@ -208,10 +208,11 @@ type Recorder struct {
 
 	// Streaming ingest (internal/ingest pipeline, /v1/watch SSE).
 	IngestEvents     Counter   // capture events accepted into a live window
-	IngestDropped    Counter   // events discarded (late arrivals, source overflow)
-	IngestRotations  Counter   // window rotations (oldest window retired)
+	IngestDropped    Counter   // events discarded (late arrivals, source overflow, clock skew)
+	IngestRotations  Counter   // live windows retired from the ring
 	TickLatencyUS    Histogram // per-tick re-estimation latency, microseconds
 	WatchSubscribers Counter   // /v1/watch SSE subscriptions opened
+	WatchTicksShed   Counter   // tick frames shed to slow subscribers
 
 	mu     sync.Mutex
 	phases map[string]*Phase
@@ -454,8 +455,9 @@ func (r *Recorder) IngestEvent() {
 	r.IngestEvents.Inc()
 }
 
-// IngestEventDropped records a capture event the ingest pipeline discarded:
-// it arrived after its window was retired, or no source slot was free.
+// IngestEventDropped records a capture event the ingest pipeline or its
+// feed discarded: it arrived after its window was retired, no source slot
+// was free, or its timestamp was implausibly far in the future.
 func (r *Recorder) IngestEventDropped() {
 	if r == nil {
 		return
@@ -463,8 +465,9 @@ func (r *Recorder) IngestEventDropped() {
 	r.IngestDropped.Inc()
 }
 
-// IngestRotated records n window rotations (each retires the oldest live
-// window and opens a fresh one; a quiet period can rotate several at once).
+// IngestRotated records n window rotations (each retires one previously
+// live window from the ring; filling an unfull ring rotates nothing, and a
+// quiet period retires at most the ring size at once).
 func (r *Recorder) IngestRotated(n int) {
 	if r == nil || n <= 0 {
 		return
@@ -486,6 +489,16 @@ func (r *Recorder) WatchSubscribed() {
 		return
 	}
 	r.WatchSubscribers.Inc()
+}
+
+// WatchTickShed records a tick frame dropped instead of delivered because
+// a subscriber's buffer was full (the slow consumer loses ticks rather
+// than stalling ingest).
+func (r *Recorder) WatchTickShed() {
+	if r == nil {
+		return
+	}
+	r.WatchTicksShed.Inc()
 }
 
 // JobFinished records one async job reaching a terminal state; ok is false
