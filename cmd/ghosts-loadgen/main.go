@@ -1,0 +1,431 @@
+// Command ghosts-loadgen drives a ghostsd worker or fleet router with a
+// reproducible estimate workload and reports throughput, latency
+// percentiles and the cache-status mix as deterministic JSON.
+//
+// The request corpus is generated up front: each entry is a valid
+// capture-history table (3–4 sources) seeded from an experiment-catalogue
+// id, so the same -seed and -corpus always produce byte-identical request
+// bodies — and therefore the same canonical keys, wherever the fleet
+// routes them. Requests pick corpus entries through a seeded Zipf sampler
+// (a few hot keys, a long cold tail), the realistic shape for exercising
+// the result cache, single-flight coalescing and fleet peer fill.
+//
+// Two driving modes:
+//
+//	closed loop (default): -requests N total across -concurrency workers,
+//	    each issuing its next request as soon as the previous returns.
+//	open loop: -rate R requests/second for -duration D, launched on a
+//	    fixed schedule regardless of completions (reveals queueing
+//	    collapse that closed loops hide).
+//
+// Usage:
+//
+//	ghosts-loadgen -target http://localhost:8080                 # closed loop
+//	ghosts-loadgen -target http://localhost:8000 -rate 50 -duration 30s
+//	ghosts-loadgen -target http://localhost:8000 -out bench.fleet.json
+//
+// The summary (schema ghosts.loadgen/v1) goes to -out or stdout; rows are
+// documented in OBSERVABILITY.md.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ghosts/internal/experiments"
+	"ghosts/internal/rng"
+	"ghosts/internal/serve"
+	"ghosts/internal/telemetry"
+)
+
+// Summary is the loadgen's JSON report. Every field except the wall-clock
+// measurements is a pure function of the flags, so diffing two runs shows
+// performance deltas, not workload drift.
+type Summary struct {
+	Schema      string  `json:"schema"` // always "ghosts.loadgen/v1"
+	Target      string  `json:"target"`
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Seed        uint64  `json:"seed"`
+	Corpus      int     `json:"corpus"`
+	ZipfS       float64 `json:"zipf_s"`
+	Concurrency int     `json:"concurrency"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	HostCPUs    int     `json:"host_cpus"`
+
+	DurationSeconds float64 `json:"duration_seconds"`
+	Sent            int64   `json:"sent"`
+	OK              int64   `json:"ok"`
+	Errors          int64   `json:"errors"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+
+	LatencyMicros Latency  `json:"latency_us"`
+	ByStatus      ByStatus `json:"by_status"`
+	Timeline      []Tick   `json:"timeline,omitempty"`
+}
+
+// Latency summarises the response-time histogram in microseconds. The
+// percentiles are power-of-two bucket upper bounds (telemetry.Histogram),
+// coarse but monotone and stable across runs.
+type Latency struct {
+	Mean float64 `json:"mean"`
+	P50  int64   `json:"p50"`
+	P90  int64   `json:"p90"`
+	P99  int64   `json:"p99"`
+	Max  int64   `json:"max"`
+}
+
+// ByStatus counts responses by their X-Ghosts-Cache disposition. Over a
+// Zipf mix the hit+coalesced+peer share should dominate once caches warm;
+// a fleet that computes the same key twice shows up here before it shows
+// up in CPU graphs.
+type ByStatus struct {
+	Hit       int64 `json:"hit"`
+	Miss      int64 `json:"miss"`
+	Coalesced int64 `json:"coalesced"`
+	Peer      int64 `json:"peer"`
+	Other     int64 `json:"other"`
+}
+
+// Tick is one second of the run: completions and errors landing in it.
+type Tick struct {
+	Second int   `json:"second"`
+	Done   int64 `json:"done"`
+	Errors int64 `json:"errors"`
+}
+
+// corpusEntry is one pre-encoded request body and its canonical key.
+type corpusEntry struct {
+	body []byte
+	key  string
+}
+
+// buildCorpus derives size distinct estimate requests deterministically
+// from (seed, catalogue ids): entry i seeds its generator from the master
+// stream, draws 3 or 4 sources, and fills the capture-history cells with
+// Poisson counts whose means decay with the overlap order — the same
+// qualitative shape as the paper's tables (big single-source cells, thin
+// high-order overlaps). Bodies are encoded once so every run — and every
+// worker the router picks — sees byte-identical requests.
+func buildCorpus(size int, seed uint64, withInterval bool) ([]corpusEntry, error) {
+	ids := experiments.Catalogue()
+	master := rng.New(seed)
+	out := make([]corpusEntry, size)
+	for i := range out {
+		r := master.Split()
+		t := 3 + r.Intn(2)
+		counts := make([]int64, 1<<uint(t))
+		for s := 1; s < len(counts); s++ {
+			order := 0
+			for b := s; b != 0; b &= b - 1 {
+				order++
+			}
+			mean := 400.0
+			for k := 1; k < order; k++ {
+				mean /= 8
+			}
+			counts[s] = r.Poisson(mean)
+		}
+		if sum(counts) == 0 {
+			counts[1] = 1 // degenerate draw: keep the request valid
+		}
+		req := serve.EstimateRequest{
+			// The source names carry the catalogue id the entry was derived
+			// from; distinct names make distinct canonical keys, so corpus
+			// entries never collide even when two tables draw equal counts.
+			Sources: sourceNames(ids[i%len(ids)].ID, i, t),
+			Counts:  counts,
+		}
+		if !withInterval {
+			f := false
+			req.Interval = &f
+		}
+		if err := req.Normalize(); err != nil {
+			return nil, fmt.Errorf("corpus entry %d: %v", i, err)
+		}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = corpusEntry{body: body, key: req.Key()}
+	}
+	return out, nil
+}
+
+func sourceNames(id string, i, t int) []string {
+	names := make([]string, t)
+	for s := 0; s < t; s++ {
+		names[s] = fmt.Sprintf("%s-%d-S%d", id, i, s+1)
+	}
+	return names
+}
+
+func sum(xs []int64) int64 {
+	var n int64
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// run drives the workload and aggregates the measurements.
+type run struct {
+	target  string
+	client  *http.Client
+	corpus  []corpusEntry
+	lat     telemetry.Histogram
+	sent    atomic.Int64
+	ok      atomic.Int64
+	errs    atomic.Int64
+	status  [5]atomic.Int64 // hit, computed, coalesced, peer, other
+	mu      sync.Mutex
+	perSec  map[int]*Tick
+	started time.Time
+}
+
+func (ld *run) shoot(ctx context.Context, e corpusEntry) {
+	ld.sent.Add(1)
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ld.target+"/v1/estimate", bytes.NewReader(e.body))
+	if err != nil {
+		ld.record(t0, "", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := ld.client.Do(req)
+	if err != nil {
+		ld.record(t0, "", err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		ld.record(t0, "", fmt.Errorf("http %d", resp.StatusCode))
+		return
+	}
+	ld.record(t0, resp.Header.Get("X-Ghosts-Cache"), nil)
+}
+
+func (ld *run) record(t0 time.Time, cache string, err error) {
+	now := time.Now()
+	ld.lat.Observe(now.Sub(t0).Microseconds())
+	sec := int(now.Sub(ld.started) / time.Second)
+	ld.mu.Lock()
+	tick := ld.perSec[sec]
+	if tick == nil {
+		tick = &Tick{Second: sec}
+		ld.perSec[sec] = tick
+	}
+	tick.Done++
+	if err != nil {
+		tick.Errors++
+	}
+	ld.mu.Unlock()
+	if err != nil {
+		ld.errs.Add(1)
+		return
+	}
+	ld.ok.Add(1)
+	switch cache {
+	case string(serve.StatusHit):
+		ld.status[0].Add(1)
+	case string(serve.StatusComputed):
+		ld.status[1].Add(1)
+	case string(serve.StatusCoalesced):
+		ld.status[2].Add(1)
+	case string(serve.StatusPeer):
+		ld.status[3].Add(1)
+	default:
+		ld.status[4].Add(1)
+	}
+}
+
+// closedLoop issues total requests across conc workers, each picking its
+// next corpus entry from a private (but seeded) Zipf stream.
+func (ld *run) closedLoop(ctx context.Context, total, conc int, seed uint64) {
+	master := rng.New(seed ^ 0x10adc3)
+	var wg sync.WaitGroup
+	per := total / conc
+	extra := total % conc
+	for w := 0; w < conc; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		z := rng.NewZipf(master.Split(), len(ld.corpus), ldZipfS)
+		wg.Add(1)
+		go func(n int, z *rng.Zipf) {
+			defer wg.Done()
+			for i := 0; i < n && ctx.Err() == nil; i++ {
+				ld.shoot(ctx, ld.corpus[z.Next()])
+			}
+		}(n, z)
+	}
+	wg.Wait()
+}
+
+// openLoop launches rate requests/second for dur on a fixed schedule; a
+// slow target accumulates in-flight requests instead of slowing the
+// arrival process.
+func (ld *run) openLoop(ctx context.Context, rate float64, dur time.Duration, seed uint64) {
+	z := rng.NewZipf(rng.New(seed^0x10adc3), len(ld.corpus), ldZipfS)
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	deadline := time.After(dur)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var wg sync.WaitGroup
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-deadline:
+			wg.Wait()
+			return
+		case <-tick.C:
+			e := ld.corpus[z.Next()]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ld.shoot(ctx, e)
+			}()
+		}
+	}
+}
+
+// ldZipfS is set from -zipf before the drivers start (the samplers are
+// built inside the drivers so each gets a deterministic stream).
+var ldZipfS float64
+
+func main() {
+	var (
+		targetFlag   = flag.String("target", "http://localhost:8080", "ghostsd worker or router base URL")
+		requestsFlag = flag.Int("requests", 200, "closed loop: total requests")
+		concFlag     = flag.Int("concurrency", 8, "closed loop: concurrent workers")
+		rateFlag     = flag.Float64("rate", 0, "open loop: requests/second (0 selects the closed loop)")
+		durFlag      = flag.Duration("duration", 10*time.Second, "open loop: run length")
+		corpusFlag   = flag.Int("corpus", 64, "distinct requests in the corpus")
+		zipfFlag     = flag.Float64("zipf", 1.1, "Zipf exponent for corpus popularity")
+		seedFlag     = flag.Uint64("seed", 1, "corpus and sampler seed")
+		intervalFlag = flag.Bool("interval", false, "request profile-likelihood intervals (slower computes)")
+		timeoutFlag  = flag.Duration("timeout", 60*time.Second, "per-request HTTP timeout")
+		timelineFlag = flag.Bool("timeline", false, "include the per-second completion timeline in the summary")
+		outFlag      = flag.String("out", "", "write the JSON summary here (default stdout)")
+	)
+	flag.Parse()
+	if *corpusFlag <= 0 || *requestsFlag <= 0 || *concFlag <= 0 || *zipfFlag <= 0 {
+		fmt.Fprintln(os.Stderr, "ghosts-loadgen: -corpus, -requests, -concurrency and -zipf must be positive")
+		os.Exit(2)
+	}
+	ldZipfS = *zipfFlag
+
+	corpus, err := buildCorpus(*corpusFlag, *seedFlag, *intervalFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghosts-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ld := &run{
+		target:  *targetFlag,
+		client:  &http.Client{Timeout: *timeoutFlag},
+		corpus:  corpus,
+		perSec:  make(map[int]*Tick),
+		started: time.Now(),
+	}
+	mode := "closed"
+	if *rateFlag > 0 {
+		mode = "open"
+		fmt.Fprintf(os.Stderr, "ghosts-loadgen: open loop against %s: %.4g req/s for %v over %d keys\n",
+			*targetFlag, *rateFlag, *durFlag, len(corpus))
+		ld.openLoop(ctx, *rateFlag, *durFlag, *seedFlag)
+	} else {
+		fmt.Fprintf(os.Stderr, "ghosts-loadgen: closed loop against %s: %d requests, %d workers, %d keys\n",
+			*targetFlag, *requestsFlag, *concFlag, len(corpus))
+		ld.closedLoop(ctx, *requestsFlag, *concFlag, *seedFlag)
+	}
+	elapsed := time.Since(ld.started)
+
+	s := Summary{
+		Schema:      "ghosts.loadgen/v1",
+		Target:      *targetFlag,
+		Mode:        mode,
+		Seed:        *seedFlag,
+		Corpus:      len(corpus),
+		ZipfS:       *zipfFlag,
+		Concurrency: *concFlag,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		HostCPUs:    runtime.NumCPU(),
+
+		DurationSeconds: elapsed.Seconds(),
+		Sent:            ld.sent.Load(),
+		OK:              ld.ok.Load(),
+		Errors:          ld.errs.Load(),
+		LatencyMicros: Latency{
+			Mean: ld.lat.Mean(),
+			P50:  ld.lat.Quantile(0.50),
+			P90:  ld.lat.Quantile(0.90),
+			P99:  ld.lat.Quantile(0.99),
+			Max:  ld.lat.Max(),
+		},
+		ByStatus: ByStatus{
+			Hit:       ld.status[0].Load(),
+			Miss:      ld.status[1].Load(),
+			Coalesced: ld.status[2].Load(),
+			Peer:      ld.status[3].Load(),
+			Other:     ld.status[4].Load(),
+		},
+	}
+	if mode == "open" {
+		s.RatePerSec = *rateFlag
+	}
+	if elapsed > 0 {
+		s.ThroughputRPS = float64(ld.ok.Load()+ld.errs.Load()) / elapsed.Seconds()
+	}
+	if *timelineFlag {
+		secs := make([]int, 0, len(ld.perSec))
+		for sec := range ld.perSec {
+			secs = append(secs, sec)
+		}
+		sort.Ints(secs)
+		for _, sec := range secs {
+			s.Timeline = append(s.Timeline, *ld.perSec[sec])
+		}
+	}
+
+	enc, err := json.MarshalIndent(&s, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghosts-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *outFlag == "" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*outFlag, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ghosts-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ghosts-loadgen: wrote summary to %s\n", *outFlag)
+	}
+	if ld.errs.Load() > 0 {
+		os.Exit(1)
+	}
+}

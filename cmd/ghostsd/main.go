@@ -4,6 +4,11 @@
 // front of the GLM/bootstrap hot paths, and an async job API over the
 // experiment catalogue.
 //
+// The same binary also runs as a fleet router (-router): a stateless
+// front that consistent-hashes request keys across worker processes, with
+// health-gated membership, retry/hedging, and verbatim response relay
+// (FLEET.md documents the full protocol).
+//
 // Usage:
 //
 //	ghostsd                                  # serve on :8080
@@ -14,6 +19,8 @@
 //	ghostsd -metrics run.json                # telemetry report on shutdown
 //	ghostsd -netflow-listen                  # live NetFlow ingest + /v1/watch tick stream
 //	ghostsd -netflow-listen -watch-window 1m -watch-every 30s -watch-windows 3
+//	ghostsd -peers http://host2:8080         # worker: fill cache misses from peers first
+//	ghostsd -router http://h1:8080,http://h2:8080 -addr :8000   # fleet router mode
 //
 // Endpoints (SERVING.md documents schemas and semantics; STREAMING.md
 // covers /v1/watch):
@@ -23,6 +30,8 @@
 //	POST /v1/jobs         launch an experiment asynchronously
 //	GET  /v1/jobs/{id}    job status and result
 //	GET  /v1/watch        SSE stream of rolling window estimates (with -netflow-listen)
+//	GET  /v1/cache/{key}  stored response bytes for a canonical key (fleet peer fill)
+//	GET  /v1/loadz        admission-gate and cache occupancy snapshot
 //	GET  /healthz         liveness
 //	GET  /readyz          readiness (503 while draining)
 //	GET  /debug/vars      expvar, including the live telemetry report
@@ -39,9 +48,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ghosts/internal/fleet"
 	"ghosts/internal/ingest"
 	"ghosts/internal/netflow"
 	"ghosts/internal/parallel"
@@ -49,6 +60,24 @@ import (
 	"ghosts/internal/server"
 	"ghosts/internal/telemetry"
 )
+
+// splitURLs parses a comma-separated worker/peer list, normalising each
+// entry to a base URL: a bare host:port gains http://, trailing slashes
+// are trimmed so path concatenation stays clean.
+func splitURLs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "://") {
+			part = "http://" + part
+		}
+		out = append(out, strings.TrimRight(part, "/"))
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -66,6 +95,12 @@ func main() {
 		wwindowFlag  = flag.Duration("watch-window", time.Minute, "streaming: width of one observation window (with -netflow-listen)")
 		wcountFlag   = flag.Int("watch-windows", 3, "streaming: live windows kept before the oldest rotates out (with -netflow-listen)")
 		weveryFlag   = flag.Duration("watch-every", 30*time.Second, "streaming: re-estimation cadence (with -netflow-listen)")
+		routerFlag   = flag.String("router", "", "fleet router mode: comma-separated worker base URLs to route across (disables the local engine)")
+		peersFlag    = flag.String("peers", "", "worker mode: comma-separated peer base URLs to consult for cached results before computing (X-Ghosts-Cache: peer)")
+		retriesFlag  = flag.Int("retries", 2, "router: additional workers to try after a retryable failure (conn error, 503, 504)")
+		hedgeFlag    = flag.Duration("hedge-after", 0, "router: launch the next candidate in parallel past this latency (0 disables hedging, preserving the fleet-wide single-compute guarantee)")
+		probeFlag    = flag.Duration("probe-every", time.Second, "router: /readyz probe cadence for ring membership")
+		boundFlag    = flag.Float64("load-bound", 1.25, "router: bounded-load factor c; a worker over ceil(c*total/live) in-flight forwards yields to the next ring candidate")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*parallelFlag)
@@ -76,14 +111,50 @@ func main() {
 	rec := telemetry.NewRecorder()
 	telemetry.Enable(rec)
 
-	front := serve.NewFront(serve.FrontConfig{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Router mode: no local engine, cache or gate — just the ring, the
+	// health prober and the forwarding logic from internal/fleet.
+	if *routerFlag != "" {
+		rt, err := fleet.NewRouter(fleet.RouterConfig{
+			Workers:      splitURLs(*routerFlag),
+			Retries:      *retriesFlag,
+			HedgeAfter:   *hedgeFlag,
+			ProbeEvery:   *probeFlag,
+			LoadBound:    *boundFlag,
+			DrainTimeout: *drainFlag,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghostsd: %v\n", err)
+			os.Exit(1)
+		}
+		err = rt.Run(ctx, *addrFlag)
+		if *metricsFlag != "" {
+			rep := rec.Report(start, time.Now(), parallel.Workers())
+			if werr := rep.WriteFile(*metricsFlag); werr != nil {
+				fmt.Fprintf(os.Stderr, "ghostsd: writing metrics report: %v\n", werr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "ghostsd: wrote telemetry run report to %s\n", *metricsFlag)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghostsd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	frontCfg := serve.FrontConfig{
 		CacheSize: *cacheFlag,
 		CacheTTL:  *ttlFlag,
 		Slots:     *slotsFlag,
 		MaxQueue:  *queueFlag,
-	})
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	}
+	if *peersFlag != "" {
+		frontCfg.PeerFill = fleet.NewPeerFiller(splitURLs(*peersFlag), 0, 0).Fill
+	}
+	front := serve.NewFront(frontCfg)
 
 	// -netflow-listen turns on the streaming side: a NetFlow v5 collector
 	// feeding the sliding-window pipeline behind GET /v1/watch. Vantages

@@ -66,18 +66,48 @@ func BootstrapIntervalCtx(ctx context.Context, tb *Table, fit *FitResult, limit 
 	for i := range gens {
 		gens[i] = master.Split()
 	}
+	// One workspace per pool worker, shared across every replicate that
+	// worker claims: the resample table and the lattice fit scratch are
+	// fully overwritten per replicate, so reuse is invisible to the
+	// numbers (the determinism tests pin the interval bit-for-bit) while
+	// the per-replicate Table/workspace allocations — and the fit pool's
+	// per-replicate checkout churn — disappear.
+	nw := parallel.Workers()
+	if nw > b {
+		nw = b
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	type bootWorkspace struct {
+		resampled *Table
+		sc        fitScratch
+	}
+	spaces := make([]*bootWorkspace, nw)
+	for i := range spaces {
+		spaces[i] = &bootWorkspace{resampled: NewTable(tb.T)}
+	}
 	raw := make([]float64, b)
-	err = parallel.ForEachCtx(ctx, b, func(rep int) {
+	err = parallel.ForEachWorkerCtx(ctx, b, func(worker, rep int) {
 		raw[rep] = math.NaN() // NaN marks a failed replicate
 		r := gens[rep]
-		resampled := NewTable(tb.T)
+		var ws *bootWorkspace
+		if worker < len(spaces) {
+			ws = spaces[worker]
+		} else {
+			// Unreachable unless SetWorkers grows the pool mid-call — not a
+			// supported pattern — but degrading to a private fresh workspace
+			// beats two workers sharing one.
+			ws = &bootWorkspace{resampled: NewTable(tb.T)}
+		}
+		resampled := ws.resampled
 		for s := 1; s < len(resampled.Counts); s++ {
 			resampled.Counts[s] = r.Poisson(lambdas[s-1])
 		}
 		if resampled.Observed() == 0 {
 			return
 		}
-		f, err := fitModelInit(resampled, fit.Model, limit, 1, refit.Coef)
+		f, err := fitModelScratch(resampled, fit.Model, limit, 1, refit.Coef, &ws.sc)
 		if err != nil {
 			return
 		}

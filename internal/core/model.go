@@ -223,12 +223,21 @@ func FitModel(tb *Table, m Model, limit float64, scale float64) (*FitResult, err
 // the rare shape the lattice kernel rejects (e.g. more columns than
 // observable cells at tiny t).
 func fitModelInit(tb *Table, m Model, limit float64, scale float64, init []float64) (*FitResult, error) {
-	if scale < 1 {
-		scale = 1
-	}
 	telemetry.Active().PoolGet()
 	sc := fitPool.Get().(*fitScratch)
 	defer fitPool.Put(sc)
+	return fitModelScratch(tb, m, limit, scale, init, sc)
+}
+
+// fitModelScratch is fitModelInit against a caller-owned scratch: the
+// bootstrap holds one fitScratch per pool worker and refits every
+// replicate that worker claims through the same lattice workspace, instead
+// of cycling the shared pool per replicate. The scratch is fully
+// overwritten on every call, so reuse cannot change any fit's numbers.
+func fitModelScratch(tb *Table, m Model, limit float64, scale float64, init []float64, sc *fitScratch) (*FitResult, error) {
+	if scale < 1 {
+		scale = 1
+	}
 	sc.masks = m.appendColumnMasks(sc.masks)
 	ld := stats.Lattice{T: m.T, Masks: sc.masks}
 	if ld.Validate() != nil {

@@ -1,0 +1,36 @@
+// Package fleet makes ghostsd horizontal: a stateless router
+// consistent-hashes canonical estimate-request keys (serve.EstimateRequest
+// .Key, the SHA-256 the cache and single-flight already use) across N
+// worker processes, so each key has one owning worker and the fleet-wide
+// compute cost of a request burst is one model fit.
+//
+// The pieces, bottom up:
+//
+//   - Ring: a consistent-hash ring with virtual nodes over worker base
+//     URLs. Lookup walks the ring from the key's point and returns live
+//     members in failover order; when a member leaves only its keys
+//     rehash.
+//   - Balancer: bounded-load placement on top of the Ring (after
+//     "Consistent Hashing with Bounded Loads", Mirrokni et al. 2016): a
+//     member carrying more than ⌈c·total/live⌉ in-flight forwards is
+//     passed over for the next ring candidate until it cools down.
+//   - Prober: health-gated membership. It polls each configured worker's
+//     /readyz; a draining or dead worker leaves the ring (its keys rehash
+//     to the survivors) and rejoins when the probe passes again.
+//   - Router: the HTTP front. POST /v1/estimate is validated once,
+//     canonicalised to its key, and forwarded to the owner; retryable
+//     failures (connection errors, 503 shed, 504 compute timeout) move to
+//     the next ring candidate with exponential backoff, and an optional
+//     hedge launches the next candidate when the current attempt is slow.
+//     Worker response bytes are relayed verbatim, which is what extends
+//     the byte-identity guarantee across routed and failover paths.
+//   - PeerFiller: the worker-side half of "only one node ever computes a
+//     given estimate". On a local cache miss a worker asks the key's
+//     likely owners for their stored bytes (GET /v1/cache/{key}) before
+//     fitting; a hit is cached and served with X-Ghosts-Cache: peer.
+//
+// FLEET.md documents the ring semantics, the peer-fill protocol, the
+// failure/hedging behaviour and a worked router-plus-two-workers example;
+// cmd/ghosts-loadgen drives a fleet and reports throughput and latency
+// percentiles.
+package fleet

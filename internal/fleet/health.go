@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ghosts/internal/telemetry"
+)
+
+// Prober drives health-gated ring membership off the workers' existing
+// /readyz probes: a worker answering 200 is live, anything else — a
+// draining 503, a connection refusal, a timeout — takes it out of the
+// ring so its keys rehash to the survivors. Probes run on a fixed cadence
+// and membership transitions are logged and gauged (fleet.members).
+type Prober struct {
+	ring     *Ring
+	members  []string
+	client   *http.Client
+	interval time.Duration
+	log      io.Writer
+}
+
+// NewProber builds a prober over the configured member URLs. interval is
+// the probe cadence (default 1s), timeout the per-probe budget (default
+// half the interval). Members start out of the ring until their first
+// successful probe.
+func NewProber(ring *Ring, members []string, interval, timeout time.Duration, log io.Writer) *Prober {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if timeout <= 0 {
+		timeout = interval / 2
+	}
+	for _, m := range members {
+		ring.SetLive(m, false)
+	}
+	return &Prober{
+		ring:     ring,
+		members:  members,
+		client:   &http.Client{Timeout: timeout},
+		interval: interval,
+		log:      log,
+	}
+}
+
+// ProbeOnce probes every member once, synchronously, and updates ring
+// membership. Exported so Run can gate serving on an initial pass and so
+// tests can force a membership refresh deterministically.
+func (p *Prober) ProbeOnce(ctx context.Context) {
+	before := p.ring.Members()
+	for _, m := range p.members {
+		live := p.probe(ctx, m)
+		if was, seen := before[m]; seen && was != live && p.log != nil {
+			state := "joined"
+			if !live {
+				state = "left"
+			}
+			fmt.Fprintf(p.log, "fleet: worker %s %s the ring\n", m, state)
+		}
+		p.ring.SetLive(m, live)
+	}
+	telemetry.Active().FleetMembersNow(p.ring.Live())
+}
+
+// probe returns whether member currently passes /readyz.
+func (p *Prober) probe(ctx context.Context, member string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, member+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Start launches the periodic probe loop and returns immediately; the
+// loop stops when ctx ends.
+func (p *Prober) Start(ctx context.Context) {
+	go func() {
+		tick := time.NewTicker(p.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				p.ProbeOnce(ctx)
+			}
+		}
+	}()
+}

@@ -1,0 +1,194 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultReplicas is the number of virtual nodes each member contributes
+// to the ring. More vnodes smooth the key distribution (the spread of a
+// member's share shrinks like 1/√replicas) at a small lookup cost.
+const DefaultReplicas = 64
+
+// point is one virtual node: a position on the 64-bit hash circle owned by
+// a member.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes over fleet members
+// (worker base URLs). Members carry a live flag instead of being removed
+// outright: a draining worker's virtual nodes stay in place but are
+// skipped by Sequence, so flapping membership never rebuilds the ring and
+// a returning member reclaims exactly the keys it owned before. Safe for
+// concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []point // sorted by hash; includes vnodes of non-live members
+	live     map[string]bool
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (≤ 0 selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, live: make(map[string]bool)}
+}
+
+// hashKey maps a canonical request key to its ring position. Keys are
+// already SHA-256 hex, but hashing again decorrelates the ring position
+// from the key bytes and handles arbitrary key strings.
+func hashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// hashVNode maps (member, replica index) to a ring position.
+func hashVNode(member string, i int) uint64 {
+	sum := sha256.Sum256([]byte(member + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// SetLive adds member to the ring on first sight and sets its liveness.
+// Flipping liveness is O(1); only the first sighting inserts vnodes.
+func (r *Ring) SetLive(member string, liveNow bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, seen := r.live[member]; !seen {
+		for i := 0; i < r.replicas; i++ {
+			r.points = append(r.points, point{hashVNode(member, i), member})
+		}
+		sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	}
+	r.live[member] = liveNow
+}
+
+// Live returns the number of members currently live.
+func (r *Ring) Live() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, ok := range r.live {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Members returns every known member with its liveness, sorted by name.
+func (r *Ring) Members() map[string]bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]bool, len(r.live))
+	for m, ok := range r.live {
+		out[m] = ok
+	}
+	return out
+}
+
+// Sequence returns up to max distinct live members in ring order starting
+// from key's position: the first entry is the key's owner, the rest are
+// its failover candidates. A member leaving the ring changes the sequences
+// of its keys only — every other key keeps its owner, which is the
+// consistent-hashing property the peer cache fill banks on. Returns nil
+// when no member is live.
+func (r *Ring) Sequence(key string, max int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var out []string
+	seen := make(map[string]bool, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !r.live[p.member] || seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		out = append(out, p.member)
+	}
+	return out
+}
+
+// Balancer adds bounded-load placement on top of a Ring: a member holding
+// more than ⌈c · (total+1) / live⌉ in-flight requests is passed over, so
+// one hot key (or one slow worker) cannot pile the whole fleet's queue
+// onto a single node while others idle.
+type Balancer struct {
+	ring *Ring
+	c    float64
+
+	mu       sync.Mutex
+	inflight map[string]int
+	total    int
+}
+
+// NewBalancer wraps ring with load-bound factor c (values ≤ 1 make no
+// sense for CHWBL; anything < 1.01 is clamped to the conventional 1.25).
+func NewBalancer(ring *Ring, c float64) *Balancer {
+	if c < 1.01 {
+		c = 1.25
+	}
+	return &Balancer{ring: ring, c: c, inflight: make(map[string]int)}
+}
+
+// Acquire records an in-flight forward to member and returns its release
+// function (call exactly once).
+func (b *Balancer) Acquire(member string) func() {
+	b.mu.Lock()
+	b.inflight[member]++
+	b.total++
+	b.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			b.mu.Lock()
+			b.inflight[member]--
+			b.total--
+			b.mu.Unlock()
+		})
+	}
+}
+
+// Inflight returns member's current in-flight count.
+func (b *Balancer) Inflight(member string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inflight[member]
+}
+
+// Sequence returns the key's candidate members with bounded load applied:
+// ring order, except that members over the load bound are moved to the
+// back (still reachable as a last resort — correctness beats the bound
+// when every member is hot).
+func (b *Balancer) Sequence(key string, max int) []string {
+	seq := b.ring.Sequence(key, max)
+	if len(seq) <= 1 {
+		return seq
+	}
+	live := b.ring.Live()
+	b.mu.Lock()
+	limit := int(math.Ceil(b.c * float64(b.total+1) / float64(live)))
+	var cool, hot []string
+	for _, m := range seq {
+		if b.inflight[m] >= limit {
+			hot = append(hot, m)
+		} else {
+			cool = append(cool, m)
+		}
+	}
+	b.mu.Unlock()
+	return append(cool, hot...)
+}

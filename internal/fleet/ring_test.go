@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+func TestRingEmptyAndDead(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Sequence("k", 3); got != nil {
+		t.Fatalf("empty ring Sequence = %v, want nil", got)
+	}
+	r.SetLive("http://a", false)
+	if got := r.Sequence("k", 3); got != nil {
+		t.Fatalf("all-dead ring Sequence = %v, want nil", got)
+	}
+	if r.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", r.Live())
+	}
+}
+
+func TestRingSequenceDistinctAndDeterministic(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"http://a", "http://b", "http://c"}
+	for _, m := range members {
+		r.SetLive(m, true)
+	}
+	for _, k := range keys(50) {
+		seq := r.Sequence(k, 3)
+		if len(seq) != 3 {
+			t.Fatalf("Sequence(%q) = %v, want 3 distinct members", k, seq)
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats %s", k, m)
+			}
+			seen[m] = true
+		}
+		again := r.Sequence(k, 3)
+		for i := range seq {
+			if seq[i] != again[i] {
+				t.Fatalf("Sequence(%q) unstable: %v vs %v", k, seq, again)
+			}
+		}
+	}
+}
+
+// TestRingMinimalDisruption pins the consistent-hashing property the peer
+// cache fill depends on: when one member leaves, only the keys it owned
+// move — every other key keeps its owner — and when it returns it
+// reclaims exactly its old keys.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"http://a", "http://b", "http://c", "http://d"}
+	for _, m := range members {
+		r.SetLive(m, true)
+	}
+	ks := keys(400)
+	before := map[string]string{}
+	for _, k := range ks {
+		before[k] = r.Sequence(k, 1)[0]
+	}
+
+	r.SetLive("http://b", false)
+	moved := 0
+	for _, k := range ks {
+		owner := r.Sequence(k, 1)[0]
+		if owner == "http://b" {
+			t.Fatalf("key %q still owned by the dead member", k)
+		}
+		if before[k] == "http://b" {
+			moved++
+			continue
+		}
+		if owner != before[k] {
+			t.Fatalf("key %q moved from %s to %s though its owner stayed live", k, before[k], owner)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the departing member; test vacuous")
+	}
+
+	r.SetLive("http://b", true)
+	for _, k := range ks {
+		if owner := r.Sequence(k, 1)[0]; owner != before[k] {
+			t.Fatalf("after rejoin key %q owned by %s, want %s", k, owner, before[k])
+		}
+	}
+}
+
+// TestRingFailoverOrder: the second sequence entry is the key's owner once
+// the first leaves, which is what makes walking the sequence a correct
+// retry order.
+func TestRingFailoverOrder(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range []string{"http://a", "http://b", "http://c"} {
+		r.SetLive(m, true)
+	}
+	for _, k := range keys(100) {
+		seq := r.Sequence(k, 2)
+		r.SetLive(seq[0], false)
+		if got := r.Sequence(k, 1)[0]; got != seq[1] {
+			t.Fatalf("key %q: after %s left, owner = %s, want failover candidate %s", k, seq[0], got, seq[1])
+		}
+		r.SetLive(seq[0], true)
+	}
+}
+
+func TestBalancerBoundsLoad(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range []string{"http://a", "http://b", "http://c"} {
+		r.SetLive(m, true)
+	}
+	b := NewBalancer(r, 1.25)
+	k := "hot-key"
+	owner := r.Sequence(k, 1)[0]
+
+	// Unloaded: balancer order is ring order.
+	seq := b.Sequence(k, 3)
+	if seq[0] != owner {
+		t.Fatalf("unloaded balancer sequence starts with %s, want owner %s", seq[0], owner)
+	}
+
+	// Pile in-flight requests onto the owner; it must drop to the back.
+	var releases []func()
+	for i := 0; i < 10; i++ {
+		releases = append(releases, b.Acquire(owner))
+	}
+	seq = b.Sequence(k, 3)
+	if seq[0] == owner {
+		t.Fatalf("overloaded owner still first in %v", seq)
+	}
+	if seq[len(seq)-1] != owner {
+		t.Fatalf("overloaded owner should be last resort, got %v", seq)
+	}
+
+	// Released: order recovers (double release must not underflow).
+	for _, rel := range releases {
+		rel()
+		rel()
+	}
+	if got := b.Inflight(owner); got != 0 {
+		t.Fatalf("Inflight after release = %d, want 0", got)
+	}
+	if seq := b.Sequence(k, 3); seq[0] != owner {
+		t.Fatalf("after release sequence starts with %s, want %s", seq[0], owner)
+	}
+}
+
+// TestRingBalance sanity-checks the vnode spread: over many keys no member
+// of a 4-node ring should own a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(DefaultReplicas)
+	members := []string{"http://a", "http://b", "http://c", "http://d"}
+	for _, m := range members {
+		r.SetLive(m, true)
+	}
+	counts := map[string]int{}
+	const n = 4000
+	for _, k := range keys(n) {
+		counts[r.Sequence(k, 1)[0]]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys; vnode spread is broken (%v)", m, 100*share, counts)
+		}
+	}
+}

@@ -1,0 +1,476 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ghosts/internal/serve"
+	"ghosts/internal/telemetry"
+)
+
+// maxBodyBytes mirrors the worker's request-body cap.
+const maxBodyBytes = 4 << 20
+
+// maxUpstreamBytes caps a relayed worker response (a 16-source estimate
+// response is far smaller).
+const maxUpstreamBytes = 8 << 20
+
+// RouterConfig assembles a Router. Zero values select the defaults noted.
+type RouterConfig struct {
+	// Workers are the fleet members' base URLs (e.g. http://10.0.0.1:8080).
+	// Required, at least one.
+	Workers []string
+	// Replicas is the virtual-node count per member; default DefaultReplicas.
+	Replicas int
+	// LoadBound is the bounded-load factor c: a member over ⌈c·total/live⌉
+	// in-flight forwards yields to the next ring candidate. Default 1.25.
+	LoadBound float64
+	// Retries caps how many additional ring candidates a request may try
+	// after a retryable failure (connection error, 503 shed, 504 compute
+	// timeout). Default 2.
+	Retries int
+	// RetryBackoff is the first retry's delay, doubling per retry.
+	// Default 25ms.
+	RetryBackoff time.Duration
+	// HedgeAfter, when positive, launches the next ring candidate in
+	// parallel if the current attempt has not answered within it. Off by
+	// default: hedging trades the single-compute guarantee for tail
+	// latency, so it is an explicit opt-in.
+	HedgeAfter time.Duration
+	// ProbeEvery is the /readyz probe cadence; default 1s.
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one probe; default ProbeEvery/2.
+	ProbeTimeout time.Duration
+	// ForwardTimeout bounds one forward attempt end to end; default 0 (the
+	// client request's own deadline governs).
+	ForwardTimeout time.Duration
+	// DrainTimeout bounds Run's graceful shutdown; default 30s.
+	DrainTimeout time.Duration
+	// Client overrides the forwarding HTTP client (tests inject transports).
+	Client *http.Client
+	// Log receives lifecycle lines; default os.Stderr.
+	Log io.Writer
+}
+
+// Router is the stateless fleet front: it owns no estimator, no cache and
+// no gate — just the ring, the health prober and the forwarding logic.
+// Any number of router replicas can sit behind one DNS name because the
+// key → worker mapping is a pure function of the ring membership.
+type Router struct {
+	cfg      RouterConfig
+	mux      *http.ServeMux
+	ring     *Ring
+	balancer *Balancer
+	prober   *Prober
+	client   *http.Client
+	ready    atomic.Bool
+	addr     atomic.Value // string
+	log      io.Writer
+}
+
+// NewRouter builds a Router from cfg.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: router needs at least one worker URL")
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	log := cfg.Log
+	if log == nil {
+		log = os.Stderr
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	ring := NewRing(cfg.Replicas)
+	rt := &Router{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		ring:     ring,
+		balancer: NewBalancer(ring, cfg.LoadBound),
+		prober:   NewProber(ring, cfg.Workers, cfg.ProbeEvery, cfg.ProbeTimeout, log),
+		client:   client,
+		log:      log,
+	}
+	rt.ready.Store(true)
+	rt.mux.HandleFunc("POST /v1/estimate", rt.instrument("fleet.estimate", rt.handleEstimate))
+	rt.mux.HandleFunc("GET /v1/fleet", rt.instrument("fleet.members", rt.handleFleet))
+	rt.mux.HandleFunc("GET /healthz", rt.instrument("healthz", rt.handleHealthz))
+	rt.mux.HandleFunc("GET /readyz", rt.instrument("readyz", rt.handleReadyz))
+	return rt, nil
+}
+
+// Handler returns the router's root handler (also useful under httptest).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Addr returns the bound listen address once Run is serving ("" before).
+func (rt *Router) Addr() string {
+	if v := rt.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// ProbeNow forces one synchronous membership refresh. Run calls it before
+// accepting traffic; tests call it to make membership transitions
+// deterministic instead of waiting out the probe cadence.
+func (rt *Router) ProbeNow(ctx context.Context) { rt.prober.ProbeOnce(ctx) }
+
+// Ring exposes the membership ring (tests and the /v1/fleet handler).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Run serves on addr until ctx is cancelled, then drains gracefully. The
+// prober runs for the duration; one synchronous probe pass happens before
+// the listener opens so the first request already sees live members.
+func (rt *Router) Run(ctx context.Context, addr string) error {
+	rt.ProbeNow(ctx)
+	rt.prober.Start(ctx)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	rt.addr.Store(ln.Addr().String())
+	hs := &http.Server{
+		Handler:           rt.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	fmt.Fprintf(rt.log, "ghostsd: listening on http://%s (router over %d workers)\n", ln.Addr(), len(rt.cfg.Workers))
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(rt.log, "ghostsd: router shutting down (draining for up to %v)\n", rt.cfg.DrainTimeout)
+	rt.ready.Store(false)
+	shutCtx, cancel := context.WithTimeout(context.Background(), rt.cfg.DrainTimeout)
+	defer cancel()
+	shutErr := hs.Shutdown(shutCtx)
+	fmt.Fprintf(rt.log, "ghostsd: router shutdown complete\n")
+	return shutErr
+}
+
+// instrument mirrors the worker server's middleware: request counter,
+// latency histogram, per-route phase, outermost panic barrier.
+func (rt *Router) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rv := recover(); rv != nil {
+				telemetry.Active().PanicRecovered()
+				fmt.Fprintf(rt.log, "ghostsd: panic in %s handler: %v\n", route, rv)
+				sw.status = http.StatusInternalServerError
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal_panic",
+						"internal error (recovered panic): %v", rv)
+				}
+			}
+			telemetry.Active().HTTPDone(route, time.Since(t0), sw.status >= 400)
+		}()
+		h(sw, r)
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// errorEnvelope matches the worker's uniform error body, so clients see
+// one error schema whether a request died at the router or a worker.
+type errorEnvelope struct {
+	API   string    `json:"api"`
+	Kind  string    `json:"kind"`
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(errorEnvelope{
+		API:   serve.APIVersion,
+		Kind:  "error",
+		Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// upstream is one forward attempt's outcome.
+type upstream struct {
+	member string
+	status int
+	ctype  string
+	cache  string // X-Ghosts-Cache from the worker
+	body   []byte
+	err    error
+}
+
+// retryable reports whether the attempt should move to the next ring
+// candidate: transport failures, a shedding worker (503) and a compute
+// timeout (504) are; everything else — including a worker's 4xx/500,
+// which would fail identically anywhere — is relayed as-is.
+func (u *upstream) retryable() bool {
+	if u.err != nil {
+		return true
+	}
+	return u.status == http.StatusServiceUnavailable || u.status == http.StatusGatewayTimeout
+}
+
+// handleEstimate is the routed POST /v1/estimate: validate and
+// canonicalise once at the edge, pick the key's owner from the ring, and
+// relay the owner's response bytes verbatim (byte-identity across direct,
+// routed and failover paths is a test-pinned invariant). Retryable
+// failures walk the ring with backoff; an optional hedge races the next
+// candidate against a slow one.
+func (rt *Router) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_json", "reading request: %v", err)
+		return
+	}
+	var req serve.EstimateRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_json", "decoding request: %v", err)
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "invalid_json", "unexpected data after JSON body")
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", "%s", err.Error())
+		return
+	}
+	key := req.Key()
+
+	owner := rt.ring.Sequence(key, 1)
+	cands := rt.balancer.Sequence(key, 1+rt.cfg.Retries)
+	if len(cands) == 0 {
+		telemetry.Active().FleetGaveUp()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no_ready_workers",
+			"no fleet worker is passing /readyz")
+		return
+	}
+	telemetry.Active().FleetForwarded()
+	u := rt.forward(r.Context(), cands, raw)
+	if u == nil || u.err != nil {
+		telemetry.Active().FleetGaveUp()
+		msg := "every candidate worker failed"
+		if u != nil {
+			msg = fmt.Sprintf("last worker (%s): %v", u.member, u.err)
+		}
+		writeError(w, http.StatusBadGateway, "fleet_exhausted", "%s", msg)
+		return
+	}
+	if len(owner) > 0 && u.member != owner[0] {
+		telemetry.Active().FleetFailedOver()
+	}
+	if u.ctype != "" {
+		w.Header().Set("Content-Type", u.ctype)
+	}
+	if u.cache != "" {
+		w.Header().Set("X-Ghosts-Cache", u.cache)
+	}
+	w.Header().Set("X-Ghosts-Worker", u.member)
+	w.WriteHeader(u.status)
+	w.Write(u.body)
+}
+
+// forward tries cands in order: sequential retries with exponential
+// backoff on retryable failures, plus at most one hedge launched when the
+// in-flight attempt is slower than HedgeAfter. The first non-retryable
+// response wins; outstanding attempts are cancelled through the shared
+// context. Returns the last failure when every candidate failed.
+func (rt *Router) forward(ctx context.Context, cands []string, body []byte) *upstream {
+	actx := ctx
+	var cancel context.CancelFunc
+	if rt.cfg.ForwardTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, rt.cfg.ForwardTimeout)
+	} else {
+		actx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	results := make(chan *upstream, len(cands))
+	next := 0
+	launch := func() bool {
+		if next >= len(cands) {
+			return false
+		}
+		m := cands[next]
+		next++
+		go func() { results <- rt.attempt(actx, m, body) }()
+		return true
+	}
+	launch()
+
+	var hedge <-chan time.Time
+	if rt.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(rt.cfg.HedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+	outstanding := 1
+	backoff := rt.cfg.RetryBackoff
+	var last *upstream
+	for outstanding > 0 {
+		select {
+		case u := <-results:
+			outstanding--
+			if !u.retryable() {
+				return u
+			}
+			last = u
+			if next < len(cands) {
+				select {
+				case <-time.After(backoff):
+				case <-actx.Done():
+					return last
+				}
+				backoff *= 2
+				telemetry.Active().FleetRetried()
+				launch()
+				outstanding++
+			}
+		case <-hedge:
+			hedge = nil
+			if next < len(cands) {
+				telemetry.Active().FleetHedged()
+				launch()
+				outstanding++
+			}
+		case <-actx.Done():
+			if last == nil {
+				last = &upstream{err: actx.Err()}
+			}
+			return last
+		}
+	}
+	return last
+}
+
+// attempt forwards the body to one worker and reads the full response.
+func (rt *Router) attempt(ctx context.Context, member string, body []byte) *upstream {
+	release := rt.balancer.Acquire(member)
+	defer release()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, member+"/v1/estimate", bytes.NewReader(body))
+	if err != nil {
+		return &upstream{member: member, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return &upstream{member: member, err: err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBytes))
+	if err != nil {
+		return &upstream{member: member, err: err}
+	}
+	return &upstream{
+		member: member,
+		status: resp.StatusCode,
+		ctype:  resp.Header.Get("Content-Type"),
+		cache:  resp.Header.Get("X-Ghosts-Cache"),
+		body:   b,
+	}
+}
+
+// fleetEnvelope is the body of GET /v1/fleet: live membership and
+// per-member in-flight load, for operators and the load generator.
+type fleetEnvelope struct {
+	API     string        `json:"api"`
+	Kind    string        `json:"kind"` // always "fleet"
+	Live    int           `json:"live"`
+	Members []fleetMember `json:"members"`
+}
+
+type fleetMember struct {
+	URL      string `json:"url"`
+	Live     bool   `json:"live"`
+	Inflight int    `json:"inflight"`
+}
+
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	members := rt.ring.Members()
+	names := make([]string, 0, len(members))
+	for m := range members {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	env := fleetEnvelope{API: serve.APIVersion, Kind: "fleet", Live: rt.ring.Live()}
+	for _, m := range names {
+		env.Members = append(env.Members, fleetMember{URL: m, Live: members[m], Inflight: rt.balancer.Inflight(m)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(env)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz: the router is ready while it is not draining and at least
+// one worker is live — a router with an empty ring can serve nothing.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case !rt.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case rt.ring.Live() == 0:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no ready workers")
+	default:
+		fmt.Fprintln(w, "ok")
+	}
+}

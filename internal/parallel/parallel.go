@@ -47,7 +47,7 @@ func Workers() int {
 // results in per-index slots. A panic in any f is re-raised in the caller
 // after the pool drains, so a crashing iteration cannot leak goroutines.
 func ForEach(n int, f func(i int)) {
-	forEach(context.Background(), n, f)
+	forEach(context.Background(), n, func(_, i int) { f(i) })
 }
 
 // ForEachCtx is ForEach with cooperative cancellation: workers check ctx
@@ -60,11 +60,28 @@ func ForEachCtx(ctx context.Context, n int, f func(i int)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	forEach(ctx, n, func(_, i int) { f(i) })
+	return ctx.Err()
+}
+
+// ForEachWorkerCtx is ForEachCtx with a stable worker identity: f is
+// invoked as f(worker, i) where worker ∈ [0, min(Workers(), n)) names the
+// executing goroutine (always 0 on the serial path). Iterations stay
+// index-addressed and independent — worker exists so callers can reuse
+// per-worker scratch (the bootstrap's shared lattice workspaces) across
+// the iterations one goroutine happens to claim, without per-iteration
+// allocation or locking. Which iterations land on which worker is
+// scheduling-dependent; results must therefore never depend on worker,
+// only on i.
+func ForEachWorkerCtx(ctx context.Context, n int, f func(worker, i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	forEach(ctx, n, f)
 	return ctx.Err()
 }
 
-func forEach(ctx context.Context, n int, f func(i int)) {
+func forEach(ctx context.Context, n int, f func(worker, i int)) {
 	if n <= 0 || ctx.Err() != nil {
 		return
 	}
@@ -74,9 +91,9 @@ func forEach(ctx context.Context, n int, f func(i int)) {
 	if rec := telemetry.Active(); rec != nil {
 		rec.FanOut(n)
 		inner := f
-		f = func(i int) {
+		f = func(w, i int) {
 			t0 := time.Now()
-			inner(i)
+			inner(w, i)
 			rec.TaskDone(time.Since(t0))
 		}
 		start := time.Now()
@@ -91,7 +108,7 @@ func forEach(ctx context.Context, n int, f func(i int)) {
 			if ctx.Err() != nil {
 				return
 			}
-			f(i)
+			f(0, i)
 		}
 		return
 	}
@@ -103,7 +120,7 @@ func forEach(ctx context.Context, n int, f func(i int)) {
 	)
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -120,9 +137,9 @@ func forEach(ctx context.Context, n int, f func(i int)) {
 				if i >= n {
 					return
 				}
-				f(i)
+				f(worker, i)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if panicVal != nil {

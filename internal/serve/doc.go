@@ -7,9 +7,17 @@
 // (Front), and a bounded admission gate (Gate) that caps how many
 // computations run at once on top of internal/parallel's worker pool.
 // Responses are encoded once and served as stored bytes, so a cache hit, a
-// single-flight follower, a cold computation and the ghosts CLI's -json
-// output are byte-identical for the same request. The package also holds
-// the capped in-memory job store (Jobs) behind the async /v1/jobs API.
+// single-flight follower, a cold computation, a fleet peer fill and the
+// ghosts CLI's -json output are byte-identical for the same request. The
+// package also holds the capped in-memory job store (Jobs) behind the
+// async /v1/jobs API.
+//
+// For fleet operation (internal/fleet, FLEET.md), FrontConfig.PeerFill
+// lets a worker copy a missing result from a peer's cache — under the
+// single-flight leader, before the admission gate — instead of
+// recomputing it (X-Ghosts-Cache: peer), Cached exposes stored bytes for
+// the GET /v1/cache/{key} wire protocol, and Load snapshots gate/queue/
+// cache occupancy for GET /v1/loadz.
 //
 // Failure containment: request contexts propagate into the engine's
 // cooperative checkpoints (a canceled request stops within one checkpoint),

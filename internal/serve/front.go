@@ -20,6 +20,10 @@ const (
 	StatusHit Status = "hit"
 	// StatusCoalesced: waited on an identical in-flight computation.
 	StatusCoalesced Status = "coalesced"
+	// StatusPeer: filled from a fleet peer's cache instead of computing —
+	// the stored encoded bytes travelled verbatim, so the body is still
+	// byte-identical to every other path (FLEET.md documents the protocol).
+	StatusPeer Status = "peer"
 )
 
 // FrontConfig configures a Front. Zero values select the defaults noted on
@@ -34,16 +38,25 @@ type FrontConfig struct {
 	// context is the computing request's — implementations must honour it
 	// cooperatively.
 	Compute func(context.Context, *EstimateRequest) (*EstimateResponse, error)
+	// PeerFill, when set, is consulted on a cache miss before computing:
+	// given the canonical request key it may return another fleet member's
+	// stored encoded response bytes (internal/fleet.PeerFiller does this
+	// over GET /v1/cache/{key}). The bytes are cached and served verbatim
+	// with Status "peer", so only one node in a fleet ever computes a given
+	// estimate. It runs under the single-flight leader but outside the
+	// admission gate — a peer fetch must not burn a compute slot.
+	PeerFill func(ctx context.Context, key string) ([]byte, bool)
 }
 
 // Front is the estimation front-end: canonical keys, result cache,
 // single-flight deduplication and admission control, in that order. One
 // Front serves both the HTTP handlers and the async job runner.
 type Front struct {
-	cache   *Cache
-	flights flightGroup
-	gate    *Gate
-	compute func(context.Context, *EstimateRequest) (*EstimateResponse, error)
+	cache    *Cache
+	flights  flightGroup
+	gate     *Gate
+	compute  func(context.Context, *EstimateRequest) (*EstimateResponse, error)
+	peerFill func(context.Context, string) ([]byte, bool)
 }
 
 // NewFront builds a Front from cfg.
@@ -71,9 +84,10 @@ func NewFront(cfg FrontConfig) *Front {
 		comp = Compute
 	}
 	return &Front{
-		cache:   NewCache(size, ttl),
-		gate:    NewGate(slots, queue),
-		compute: comp,
+		cache:    NewCache(size, ttl),
+		gate:     NewGate(slots, queue),
+		compute:  comp,
+		peerFill: cfg.PeerFill,
 	}
 }
 
@@ -99,7 +113,20 @@ func (f *Front) Estimate(ctx context.Context, req *EstimateRequest) ([]byte, Sta
 			telemetry.Active().CacheHit()
 			return b, StatusHit, nil
 		}
+		// The leader reports how it produced the bytes (peer fill vs local
+		// compute) through this variable; followers receive the coalesced
+		// status either way.
+		leaderStatus := StatusComputed
 		b, err, shared := f.flights.Do(ctx, key, func() ([]byte, error) {
+			if f.peerFill != nil {
+				if b, ok := f.peerFill(ctx, key); ok {
+					telemetry.Active().PeerFill(true)
+					f.cache.Put(key, b)
+					leaderStatus = StatusPeer
+					return b, nil
+				}
+				telemetry.Active().PeerFill(false)
+			}
 			if err := f.gate.Acquire(ctx); err != nil {
 				return nil, err
 			}
@@ -126,7 +153,7 @@ func (f *Front) Estimate(ctx context.Context, req *EstimateRequest) ([]byte, Sta
 			telemetry.Active().CoalescedFollower()
 			return b, StatusCoalesced, nil
 		}
-		return b, StatusComputed, nil
+		return b, leaderStatus, nil
 	}
 }
 
@@ -143,3 +170,34 @@ func (f *Front) CacheLen() int { return f.cache.Len() }
 
 // QueueDepth reports callers currently waiting on the admission gate.
 func (f *Front) QueueDepth() int { return f.gate.Waiting() }
+
+// Cached returns the stored encoded response bytes for a canonical request
+// key, refreshing its recency, without ever computing. It backs the
+// fleet-internal GET /v1/cache/{key} endpoint: peers receive the exact
+// bytes this node would serve, which is what keeps routed, peer-filled and
+// failover responses byte-identical. The bytes are shared — callers must
+// not mutate them.
+func (f *Front) Cached(key string) ([]byte, bool) { return f.cache.Get(key) }
+
+// Load is a point-in-time saturation snapshot of the front-end: compute
+// slots held vs available, admission-queue occupancy vs bound, and cache
+// fill. The /v1/loadz endpoint serves it so the fleet router and the load
+// generator can see per-worker pressure.
+type Load struct {
+	SlotsBusy    int `json:"slots_busy"`
+	Slots        int `json:"slots"`
+	QueueWaiting int `json:"queue_waiting"`
+	QueueCap     int `json:"queue_cap"`
+	CacheLen     int `json:"cache_len"`
+}
+
+// Load reports the front-end's current admission and cache occupancy.
+func (f *Front) Load() Load {
+	return Load{
+		SlotsBusy:    f.gate.InUse(),
+		Slots:        f.gate.Slots(),
+		QueueWaiting: f.gate.Waiting(),
+		QueueCap:     f.gate.QueueCap(),
+		CacheLen:     f.cache.Len(),
+	}
+}

@@ -48,6 +48,7 @@ func (g *Gate) Acquire(ctx context.Context) error {
 	select {
 	case g.slots <- struct{}{}:
 		telemetry.Active().QueueSampled(0)
+		telemetry.Active().GateSlots(1)
 		return nil
 	default:
 	}
@@ -57,9 +58,14 @@ func (g *Gate) Acquire(ctx context.Context) error {
 		return ErrSaturated
 	}
 	telemetry.Active().QueueSampled(int(w))
-	defer g.waiting.Add(-1)
+	telemetry.Active().GateQueue(1)
+	defer func() {
+		g.waiting.Add(-1)
+		telemetry.Active().GateQueue(-1)
+	}()
 	select {
 	case g.slots <- struct{}{}:
+		telemetry.Active().GateSlots(1)
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -67,7 +73,19 @@ func (g *Gate) Acquire(ctx context.Context) error {
 }
 
 // Release returns a slot claimed by Acquire.
-func (g *Gate) Release() { <-g.slots }
+func (g *Gate) Release() {
+	<-g.slots
+	telemetry.Active().GateSlots(-1)
+}
 
 // Waiting returns the current queue depth (callers blocked in Acquire).
 func (g *Gate) Waiting() int { return int(g.waiting.Load()) }
+
+// InUse returns the number of compute slots currently held.
+func (g *Gate) InUse() int { return len(g.slots) }
+
+// Slots returns the concurrency bound (capacity of the slot channel).
+func (g *Gate) Slots() int { return cap(g.slots) }
+
+// QueueCap returns the admission-queue bound beyond which Acquire sheds.
+func (g *Gate) QueueCap() int { return int(g.maxWait) }

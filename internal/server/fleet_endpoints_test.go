@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ghosts/internal/serve"
+	"ghosts/internal/telemetry"
+)
+
+// TestCacheGetServesStoredBytes pins the peer-fill wire contract: GET
+// /v1/cache/{key} returns exactly the bytes POST /v1/estimate produced
+// for that key — the byte-identity guarantee extended across processes.
+func TestCacheGetServesStoredBytes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, base := postJSON(t, ts.URL+"/v1/estimate", estimateBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status %d: %s", resp.StatusCode, base)
+	}
+	var env struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(base, &env); err != nil || len(env.Key) != 64 {
+		t.Fatalf("estimate response key %q: %v", env.Key, err)
+	}
+
+	resp2, cached := getJSON(t, ts.URL+"/v1/cache/"+env.Key)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cache get status %d: %s", resp2.StatusCode, cached)
+	}
+	if !bytes.Equal(cached, base) {
+		t.Fatalf("cache bytes differ from estimate bytes:\n%s\nvs\n%s", cached, base)
+	}
+	if got := resp2.Header.Get("X-Ghosts-Cache"); got != string(serve.StatusHit) {
+		t.Fatalf("cache get X-Ghosts-Cache = %q, want hit", got)
+	}
+
+	// A well-formed but unknown key is a 404, not an error.
+	miss := strings.Repeat("0", 64)
+	resp3, _ := getJSON(t, ts.URL+"/v1/cache/"+miss)
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key status %d, want 404", resp3.StatusCode)
+	}
+
+	// A malformed key (wrong length / non-hex) is a 400.
+	for _, bad := range []string{"abc", strings.Repeat("z", 64)} {
+		resp4, _ := getJSON(t, ts.URL+"/v1/cache/"+bad)
+		if resp4.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad key %q status %d, want 400", bad, resp4.StatusCode)
+		}
+	}
+}
+
+// TestLoadzReportsOccupancy: the load snapshot carries the gate geometry
+// and cache fill, and tracks the cache as entries land.
+func TestLoadzReportsOccupancy(t *testing.T) {
+	front := serve.NewFront(serve.FrontConfig{Slots: 2, MaxQueue: 7, CacheSize: 16})
+	_, ts := newTestServer(t, Config{Front: front})
+
+	var env struct {
+		Kind  string     `json:"kind"`
+		Ready bool       `json:"ready"`
+		Load  serve.Load `json:"load"`
+	}
+	resp, body := getJSON(t, ts.URL+"/v1/loadz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("loadz status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("loadz decode: %v in %s", err, body)
+	}
+	if env.Kind != "load" || !env.Ready {
+		t.Fatalf("loadz envelope = %s", body)
+	}
+	if env.Load.Slots != 2 || env.Load.QueueCap != 7 {
+		t.Fatalf("loadz geometry = %+v, want slots 2, queue cap 7", env.Load)
+	}
+	if env.Load.CacheLen != 0 || env.Load.SlotsBusy != 0 {
+		t.Fatalf("idle loadz = %+v, want empty", env.Load)
+	}
+
+	if resp, body := postJSON(t, ts.URL+"/v1/estimate", estimateBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status %d: %s", resp.StatusCode, body)
+	}
+	_, body = getJSON(t, ts.URL+"/v1/loadz")
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Load.CacheLen != 1 {
+		t.Fatalf("cache len after one estimate = %d, want 1", env.Load.CacheLen)
+	}
+}
+
+// TestGateGauges: slot occupancy and queue depth surface through the
+// telemetry gauges while a compute holds the gate, and return to zero
+// after it releases.
+func TestGateGauges(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+	defer telemetry.Disable()
+
+	g := serve.NewGate(1, 4)
+	if err := g.Acquire(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.SlotsBusy.Load(); got != 1 {
+		t.Fatalf("SlotsBusy while held = %d, want 1", got)
+	}
+	if g.InUse() != 1 || g.Slots() != 1 || g.QueueCap() != 4 {
+		t.Fatalf("gate accessors = (%d,%d,%d), want (1,1,4)", g.InUse(), g.Slots(), g.QueueCap())
+	}
+	g.Release()
+	if got := rec.SlotsBusy.Load(); got != 0 {
+		t.Fatalf("SlotsBusy after release = %d, want 0", got)
+	}
+	if g.InUse() != 0 {
+		t.Fatalf("InUse after release = %d, want 0", g.InUse())
+	}
+}

@@ -107,6 +107,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.instrument("jobs.list", s.handleJobList))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs.get", s.handleJobGet))
 	s.mux.HandleFunc("GET /v1/watch", s.instrument("watch", s.handleWatch))
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.instrument("cache.get", s.handleCacheGet))
+	s.mux.HandleFunc("GET /v1/loadz", s.instrument("loadz", s.handleLoadz))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 
@@ -442,6 +444,65 @@ type jobsEnvelope struct {
 // handleJobList is GET /v1/jobs: every stored job, submission order.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, jobsEnvelope{API: serve.APIVersion, Kind: "jobs", Jobs: s.jobs.List()})
+}
+
+// handleCacheGet is GET /v1/cache/{key}: the fleet-internal peer-fill
+// endpoint. It serves the stored encoded response bytes for a canonical
+// request key verbatim — never computing — or 404 when this node holds no
+// copy. Peers (internal/fleet.PeerFiller) use it so a key rehashed to a
+// new owner is answered from the old owner's cache instead of being
+// refitted, keeping fleet-wide computes at one per key.
+// validKey reports whether key has the canonical request-key shape: 64
+// lowercase hex characters (the SHA-256 serve.EstimateRequest.Key emits).
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		s.writeError(w, http.StatusBadRequest, "invalid_request",
+			"key must be a 64-hex-character canonical request key")
+		return
+	}
+	body, ok := s.front.Cached(key)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "not_cached", "no stored response for key %s", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Ghosts-Cache", string(serve.StatusHit))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// loadEnvelope is the body of GET /v1/loadz.
+type loadEnvelope struct {
+	API   string     `json:"api"`
+	Kind  string     `json:"kind"` // always "load"
+	Ready bool       `json:"ready"`
+	Load  serve.Load `json:"load"`
+}
+
+// handleLoadz is GET /v1/loadz: the worker's live saturation snapshot —
+// compute-slot and admission-queue occupancy plus cache fill — for the
+// fleet router's shed/hedge decisions and the loadgen report.
+func (s *Server) handleLoadz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, loadEnvelope{
+		API:   serve.APIVersion,
+		Kind:  "load",
+		Ready: s.ready.Load(),
+		Load:  s.front.Load(),
+	})
 }
 
 // handleHealthz reports liveness: the process is up.

@@ -29,6 +29,7 @@ type Report struct {
 	Boot     BootstrapReport `json:"bootstrap"`
 	Parallel ParallelReport  `json:"parallel"`
 	Serve    ServeReport     `json:"serve"`
+	Fleet    FleetReport     `json:"fleet"`
 	Ingest   IngestReport    `json:"ingest"`
 	Watch    WatchReport     `json:"watch"`
 	Phases   []PhaseReport   `json:"phases"`
@@ -105,6 +106,22 @@ type ServeReport struct {
 	Panics         int64             `json:"panics"`
 	Canceled       int64             `json:"canceled"`
 	TimedOut       int64             `json:"timed_out"`
+	SlotsBusy      int64             `json:"slots_busy"`     // gauge at snapshot time
+	QueueWaiting   int64             `json:"queue_waiting"`  // gauge at snapshot time
+}
+
+// FleetReport summarises the fleet layer (metric prefix fleet): router
+// forwarding on a router process, peer cache fill on worker processes.
+// All-zero on a process that is neither.
+type FleetReport struct {
+	Forwards       int64 `json:"forwards"`
+	Retries        int64 `json:"retries"`
+	Hedges         int64 `json:"hedges"`
+	Failovers      int64 `json:"failovers"`
+	Exhausted      int64 `json:"exhausted"`
+	Members        int64 `json:"members"` // gauge at snapshot time
+	PeerFills      int64 `json:"peer_fills"`
+	PeerFillMisses int64 `json:"peer_fill_misses"`
 }
 
 // IngestReport summarises the streaming ingest pipeline (metric prefix
@@ -200,6 +217,18 @@ func (r *Recorder) Report(started, finished time.Time, workers int) *Report {
 		Panics:         r.Panics.Load(),
 		Canceled:       r.RequestsCanceled.Load(),
 		TimedOut:       r.RequestsTimedOut.Load(),
+		SlotsBusy:      r.SlotsBusy.Load(),
+		QueueWaiting:   r.QueueWaiting.Load(),
+	}
+	rep.Fleet = FleetReport{
+		Forwards:       r.FleetForwards.Load(),
+		Retries:        r.FleetRetries.Load(),
+		Hedges:         r.FleetHedges.Load(),
+		Failovers:      r.FleetFailovers.Load(),
+		Exhausted:      r.FleetExhausted.Load(),
+		Members:        r.FleetMembers.Load(),
+		PeerFills:      r.PeerFills.Load(),
+		PeerFillMisses: r.PeerFillMisses.Load(),
 	}
 	rep.Ingest = IngestReport{
 		Events:    r.IngestEvents.Load(),

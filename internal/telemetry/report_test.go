@@ -51,6 +51,22 @@ func populate() *Recorder {
 	r.RequestCanceled()
 	r.RequestCanceled()
 	r.RequestTimedOut()
+	r.GateSlots(1)
+	r.GateSlots(1)
+	r.GateSlots(-1)
+	r.GateQueue(1)
+	r.GateQueue(1)
+	r.FleetForwarded()
+	r.FleetForwarded()
+	r.FleetForwarded()
+	r.FleetRetried()
+	r.FleetHedged()
+	r.FleetFailedOver()
+	r.FleetGaveUp()
+	r.FleetMembersNow(2)
+	r.PeerFill(true)
+	r.PeerFill(true)
+	r.PeerFill(false)
 	r.IngestEvent()
 	r.IngestEvent()
 	r.IngestEvent()
@@ -175,7 +191,19 @@ const goldenReport = `{
     "jobs_failed": 1,
     "panics": 1,
     "canceled": 2,
-    "timed_out": 1
+    "timed_out": 1,
+    "slots_busy": 1,
+    "queue_waiting": 2
+  },
+  "fleet": {
+    "forwards": 3,
+    "retries": 1,
+    "hedges": 1,
+    "failovers": 1,
+    "exhausted": 1,
+    "members": 2,
+    "peer_fills": 2,
+    "peer_fill_misses": 1
   },
   "ingest": {
     "events": 3,

@@ -38,6 +38,20 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is an atomic instantaneous level: unlike a Counter it goes up and
+// down (slots in use, queue occupancy, live fleet members). The zero value
+// is ready for use.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Timer accumulates monotonic durations: total nanoseconds and the number
 // of measured intervals.
 type Timer struct{ nanos, count atomic.Int64 }
@@ -123,6 +137,42 @@ type HistogramSnapshot struct {
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
+// Quantile returns an upper bound on the q-quantile of the observations:
+// the upper bound of the power-of-two bucket holding the ⌈q·count⌉-th
+// smallest value, clamped to the observed maximum. It is coarse by design
+// (buckets double), but monotone in q and cheap enough for a load
+// generator to derive p50/p99 from the same histograms the run report
+// snapshots. Returns 0 when the histogram is empty; q is clamped to (0,1].
+func (h *Histogram) Quantile(q float64) int64 { return h.Snapshot().Quantile(q) }
+
+// Quantile is Histogram.Quantile over a snapshot.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(s.Count))
+	if float64(target) < q*float64(s.Count) || target == 0 {
+		target++
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if cum >= target {
+			if b.Le > s.Max {
+				return s.Max
+			}
+			return b.Le
+		}
+	}
+	return s.Max
+}
+
 // Snapshot copies the histogram's current state, keeping only non-empty
 // buckets (in ascending bound order, so the output is deterministic).
 func (h *Histogram) Snapshot() HistogramSnapshot {
@@ -199,6 +249,19 @@ type Recorder struct {
 	QueueDepth     Histogram // admission-queue waiters sampled at enqueue
 	JobsRun        Counter   // async jobs that reached a terminal state
 	JobsFailed     Counter   // async jobs that ended in failure or cancellation
+	SlotsBusy      Gauge     // admission-gate compute slots currently held
+	QueueWaiting   Gauge     // callers currently queued behind the admission gate
+
+	// Fleet (internal/fleet: router forwarding on the router process, peer
+	// cache fill on worker processes).
+	FleetForwards  Counter // estimate requests forwarded to a worker
+	FleetRetries   Counter // forward attempts relaunched after a retryable failure
+	FleetHedges    Counter // hedge attempts launched against a slow worker
+	FleetFailovers Counter // responses served by a non-primary ring candidate
+	FleetExhausted Counter // forwards that ran out of candidate workers
+	FleetMembers   Gauge   // ring members currently passing /readyz
+	PeerFills      Counter // cache misses answered from a fleet peer's cache
+	PeerFillMisses Counter // peer-fill rounds that found no stored copy
 
 	// Failure containment (single-flight leader, job runner, HTTP
 	// middleware; estimate handler error mapping).
@@ -499,6 +562,95 @@ func (r *Recorder) WatchTickShed() {
 		return
 	}
 	r.WatchTicksShed.Inc()
+}
+
+// GateSlots moves the slot-occupancy gauge: +1 when the admission gate
+// hands out a compute slot, −1 when it is released. The gauge is the
+// per-instance saturation signal the fleet router's shed/hedge decisions
+// and the loadgen report read (one Gate per process in practice).
+func (r *Recorder) GateSlots(delta int64) {
+	if r == nil {
+		return
+	}
+	r.SlotsBusy.Add(delta)
+}
+
+// GateQueue moves the queue-occupancy gauge: +1 when a caller starts
+// waiting for a compute slot, −1 when it stops (admitted, shed or
+// canceled). Unlike the QueueDepth histogram — samples at enqueue — this
+// is the live level.
+func (r *Recorder) GateQueue(delta int64) {
+	if r == nil {
+		return
+	}
+	r.QueueWaiting.Add(delta)
+}
+
+// FleetForwarded records one estimate request the router forwarded into
+// the fleet (counted once per request, not per attempt).
+func (r *Recorder) FleetForwarded() {
+	if r == nil {
+		return
+	}
+	r.FleetForwards.Inc()
+}
+
+// FleetRetried records a forward attempt relaunched on the next ring
+// candidate after a retryable failure (connection error, 503 shed, 504
+// compute timeout).
+func (r *Recorder) FleetRetried() {
+	if r == nil {
+		return
+	}
+	r.FleetRetries.Inc()
+}
+
+// FleetHedged records a hedge attempt launched because the current attempt
+// had not answered within the hedge delay.
+func (r *Recorder) FleetHedged() {
+	if r == nil {
+		return
+	}
+	r.FleetHedges.Inc()
+}
+
+// FleetFailedOver records a routed response served by a worker other than
+// the key's primary ring candidate.
+func (r *Recorder) FleetFailedOver() {
+	if r == nil {
+		return
+	}
+	r.FleetFailovers.Inc()
+}
+
+// FleetGaveUp records a forward that exhausted every candidate worker
+// without a servable response (the router answers 502/503).
+func (r *Recorder) FleetGaveUp() {
+	if r == nil {
+		return
+	}
+	r.FleetExhausted.Inc()
+}
+
+// FleetMembersNow sets the live-member gauge after a probe pass.
+func (r *Recorder) FleetMembersNow(n int) {
+	if r == nil {
+		return
+	}
+	r.FleetMembers.Set(int64(n))
+}
+
+// PeerFill records one peer cache-fill round on a worker: hit means a peer
+// returned stored bytes and the local compute was skipped.
+func (r *Recorder) PeerFill(hit bool) {
+	if r == nil {
+		return
+	}
+	if hit {
+		r.PeerFills.Inc()
+	} else {
+		r.PeerFillMisses.Inc()
+	}
 }
 
 // JobFinished records one async job reaching a terminal state; ok is false

@@ -29,8 +29,10 @@ done
 STEM="${OUT%.json}"
 TXT="$(mktemp)"
 cleanup() {
-    [ -n "${SERVEPID:-}" ] && kill "$SERVEPID" 2>/dev/null || true
-    rm -rf "$TXT" "${SERVEDIR:-}"
+    for pid in "${SERVEPID:-}" "${FW1PID:-}" "${FW2PID:-}" "${FRPID:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TXT" "${SERVEDIR:-}" "${FLEETDIR:-}"
 }
 trap cleanup EXIT
 
@@ -151,4 +153,50 @@ if [ -z "${GHOSTS_BENCH_NO_SERVE:-}" ]; then
     wait "$SERVEPID"
     SERVEPID=""
     echo "wrote $SERVEOUT"
+fi
+
+# Fleet snapshot: boot two workers and a router, drive them with the load
+# generator's deterministic Zipf mix, and keep its ghosts.loadgen/v1
+# summary (throughput, latency percentiles, cache-status mix — including
+# gomaxprocs/host_cpus, so fleet numbers carry their parallelism context
+# like the meta element above). FLEET.md documents the topology.
+# Set GHOSTS_BENCH_NO_FLEET=1 to skip it.
+if [ -z "${GHOSTS_BENCH_NO_FLEET:-}" ]; then
+    FLEETOUT="$STEM.fleet.json"
+    FLEETDIR="$(mktemp -d)"
+    go build -o "$FLEETDIR/ghostsd" ./cmd/ghostsd
+    go build -o "$FLEETDIR/ghosts-loadgen" ./cmd/ghosts-loadgen
+    fleet_base() { # logfile -> prints base URL once the daemon logs it
+        local base=""
+        for _ in $(seq 1 100); do
+            base="$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$1" | head -n 1)"
+            [ -n "$base" ] && { echo "$base"; return 0; }
+            sleep 0.1
+        done
+        return 1
+    }
+    # Peer wiring needs both URLs up front but ports are dynamic, so: boot
+    # worker 1 to learn its port, boot worker 2 peering at it, then restart
+    # worker 1 on its (just freed) port peering back — fully symmetric, so
+    # a displaced key is a byte copy on either worker, never a second fit.
+    "$FLEETDIR/ghostsd" -addr 127.0.0.1:0 2> "$FLEETDIR/w1.log" &
+    FW1PID=$!
+    FW1="$(fleet_base "$FLEETDIR/w1.log")" || { echo "fleet worker 1 never came up" >&2; exit 1; }
+    "$FLEETDIR/ghostsd" -addr 127.0.0.1:0 -peers "$FW1" 2> "$FLEETDIR/w2.log" &
+    FW2PID=$!
+    FW2="$(fleet_base "$FLEETDIR/w2.log")" || { echo "fleet worker 2 never came up" >&2; exit 1; }
+    kill -TERM "$FW1PID" && wait "$FW1PID"
+    "$FLEETDIR/ghostsd" -addr "${FW1#http://}" -peers "$FW2" 2> "$FLEETDIR/w1b.log" &
+    FW1PID=$!
+    FW1="$(fleet_base "$FLEETDIR/w1b.log")" || { echo "fleet worker 1 never came back up" >&2; exit 1; }
+    "$FLEETDIR/ghostsd" -router "$FW1,$FW2" -addr 127.0.0.1:0 2> "$FLEETDIR/router.log" &
+    FRPID=$!
+    FROUTER="$(fleet_base "$FLEETDIR/router.log")" || { echo "fleet router never came up" >&2; exit 1; }
+    "$FLEETDIR/ghosts-loadgen" -target "$FROUTER" \
+        -requests 300 -concurrency 8 -corpus 48 -out "$FLEETOUT"
+    for pid in "$FRPID" "$FW1PID" "$FW2PID"; do
+        kill -TERM "$pid" && wait "$pid"
+    done
+    FRPID=""; FW1PID=""; FW2PID=""
+    echo "wrote $FLEETOUT"
 fi

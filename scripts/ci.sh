@@ -107,4 +107,59 @@ wait "$SMOKEPID" || { echo "ghostsd did not exit cleanly on SIGTERM" >&2; exit 1
 SMOKEPID=""
 echo "ghostsd smoke OK ($BASE)"
 
+echo "== fleet smoke =="
+# Boot two workers and a router over them (all on random ports), estimate
+# through the router, then SIGTERM one worker mid-fleet: the router must
+# keep serving through the survivor and — the headline fleet invariant —
+# the response bytes must be identical before and after the failover
+# (FLEET.md). Everything must exit cleanly.
+FLEETDIR="$(mktemp -d)"
+cleanup_fleet() { # replaces cleanup_smoke as the EXIT trap, so take SMOKEDIR too
+    for pid in "${W1PID:-}" "${W2PID:-}" "${RPID:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$FLEETDIR" "$SMOKEDIR"
+}
+trap cleanup_fleet EXIT
+wait_base() { # logfile -> prints base URL once the daemon logs it
+    local base=""
+    for _ in $(seq 1 100); do
+        base="$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$1" | head -n 1)"
+        [ -n "$base" ] && { echo "$base"; return 0; }
+        sleep 0.1
+    done
+    return 1
+}
+"$SMOKEDIR/ghostsd" -addr 127.0.0.1:0 2> "$FLEETDIR/w1.log" &
+W1PID=$!
+"$SMOKEDIR/ghostsd" -addr 127.0.0.1:0 2> "$FLEETDIR/w2.log" &
+W2PID=$!
+W1="$(wait_base "$FLEETDIR/w1.log")" || { echo "worker 1 never came up" >&2; cat "$FLEETDIR/w1.log" >&2; exit 1; }
+W2="$(wait_base "$FLEETDIR/w2.log")" || { echo "worker 2 never came up" >&2; cat "$FLEETDIR/w2.log" >&2; exit 1; }
+"$SMOKEDIR/ghostsd" -router "$W1,$W2" -probe-every 200ms -addr 127.0.0.1:0 \
+    2> "$FLEETDIR/router.log" &
+RPID=$!
+ROUTER="$(wait_base "$FLEETDIR/router.log")" || { echo "router never came up" >&2; cat "$FLEETDIR/router.log" >&2; exit 1; }
+FLEETBODY='{"counts":[0,400,350,120,300,90,80,40],"limit":5000}'
+curl -fsS -X POST "$ROUTER/v1/estimate" -d "$FLEETBODY" > "$FLEETDIR/before.json"
+grep -q '"kind": "estimate"' "$FLEETDIR/before.json"
+kill -TERM "$W2PID"
+wait "$W2PID" || { echo "worker 2 did not exit cleanly on SIGTERM" >&2; exit 1; }
+W2PID=""
+sleep 0.6  # > -probe-every: let the router notice the departure
+curl -fsS "$ROUTER/readyz" | grep -q '^ok$' \
+    || { echo "router not ready after losing one worker" >&2; exit 1; }
+curl -fsS -X POST "$ROUTER/v1/estimate" -d "$FLEETBODY" > "$FLEETDIR/after.json"
+cmp -s "$FLEETDIR/before.json" "$FLEETDIR/after.json" \
+    || { echo "fleet response changed across worker failover" >&2; exit 1; }
+kill -TERM "$RPID"
+wait "$RPID" || { echo "router did not exit cleanly on SIGTERM" >&2; exit 1; }
+RPID=""
+kill -TERM "$W1PID"
+wait "$W1PID" || { echo "worker 1 did not exit cleanly on SIGTERM" >&2; exit 1; }
+W1PID=""
+cleanup_fleet
+trap - EXIT
+echo "fleet smoke OK ($ROUTER over $W1, $W2)"
+
 echo "CI OK"
