@@ -20,7 +20,10 @@
 //	ghostsd -netflow-listen                  # live NetFlow ingest + /v1/watch tick stream
 //	ghostsd -netflow-listen -watch-window 1m -watch-every 30s -watch-windows 3
 //	ghostsd -peers http://host2:8080         # worker: fill cache misses from peers first
-//	ghostsd -router http://h1:8080,http://h2:8080 -addr :8000   # fleet router mode
+//	ghostsd -router http://h1:8080,http://h2:8080 -addr :8000   # fleet router mode (static seeds)
+//	ghostsd -router-mode -addr :8000         # fleet router with no static workers (dynamic joins only)
+//	ghostsd -join http://router:8000         # worker: self-register at the router under a heartbeat lease
+//	ghostsd -join http://router:8000 -advertise http://10.0.0.7:8080 -lease-ttl 15s
 //
 // Endpoints (SERVING.md documents schemas and semantics; STREAMING.md
 // covers /v1/watch):
@@ -32,6 +35,12 @@
 //	GET  /v1/watch        SSE stream of rolling window estimates (with -netflow-listen)
 //	GET  /v1/cache/{key}  stored response bytes for a canonical key (fleet peer fill)
 //	GET  /v1/loadz        admission-gate and cache occupancy snapshot
+//
+// Router-mode endpoints additionally include dynamic membership
+// (FLEET.md): POST /v1/fleet/join (register/renew a worker under a
+// heartbeat lease), POST /v1/fleet/leave (drain-time deregister), and
+// GET /v1/fleet (registered members with liveness and lease state).
+//
 //	GET  /healthz         liveness
 //	GET  /readyz          readiness (503 while draining)
 //	GET  /debug/vars      expvar, including the live telemetry report
@@ -49,6 +58,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -95,9 +105,13 @@ func main() {
 		wwindowFlag  = flag.Duration("watch-window", time.Minute, "streaming: width of one observation window (with -netflow-listen)")
 		wcountFlag   = flag.Int("watch-windows", 3, "streaming: live windows kept before the oldest rotates out (with -netflow-listen)")
 		weveryFlag   = flag.Duration("watch-every", 30*time.Second, "streaming: re-estimation cadence (with -netflow-listen)")
-		routerFlag   = flag.String("router", "", "fleet router mode: comma-separated worker base URLs to route across (disables the local engine)")
-		peersFlag    = flag.String("peers", "", "worker mode: comma-separated peer base URLs to consult for cached results before computing (X-Ghosts-Cache: peer)")
-		retriesFlag  = flag.Int("retries", 2, "router: additional workers to try after a retryable failure (conn error, 503, 504)")
+		routerFlag   = flag.String("router", "", "fleet router mode: comma-separated static worker base URLs to route across (disables the local engine)")
+		routerModeF  = flag.Bool("router-mode", false, "fleet router mode with no static workers: membership comes entirely from POST /v1/fleet/join")
+		joinFlag     = flag.String("join", "", "worker mode: router base URL to self-register at under a heartbeat lease (peers are then derived from GET /v1/fleet)")
+		advertiseF   = flag.String("advertise", "", "worker mode: base URL to advertise on -join (default http://<bound addr>; set it when listening on a wildcard address)")
+		leaseFlag    = flag.Duration("lease-ttl", 0, "lease duration: requested on -join (worker), granted by default to joiners (router); 0 = the fleet default (15s)")
+		peersFlag    = flag.String("peers", "", "worker mode: comma-separated static peer base URLs to consult for cached results before computing (X-Ghosts-Cache: peer); merged with -join-derived peers")
+		retriesFlag  = flag.Int("retries", 2, "router: additional workers to try after a retryable failure (conn error, 503, 504); negative disables retries")
 		hedgeFlag    = flag.Duration("hedge-after", 0, "router: launch the next candidate in parallel past this latency (0 disables hedging, preserving the fleet-wide single-compute guarantee)")
 		probeFlag    = flag.Duration("probe-every", time.Second, "router: /readyz probe cadence for ring membership")
 		boundFlag    = flag.Float64("load-bound", 1.25, "router: bounded-load factor c; a worker over ceil(c*total/live) in-flight forwards yields to the next ring candidate")
@@ -115,14 +129,17 @@ func main() {
 	defer stop()
 
 	// Router mode: no local engine, cache or gate — just the ring, the
-	// health prober and the forwarding logic from internal/fleet.
-	if *routerFlag != "" {
+	// registry, the health prober and the forwarding logic from
+	// internal/fleet. -router seeds static members; -router-mode starts
+	// with none and relies entirely on dynamic joins.
+	if *routerFlag != "" || *routerModeF {
 		rt, err := fleet.NewRouter(fleet.RouterConfig{
 			Workers:      splitURLs(*routerFlag),
 			Retries:      *retriesFlag,
 			HedgeAfter:   *hedgeFlag,
 			ProbeEvery:   *probeFlag,
 			LoadBound:    *boundFlag,
+			LeaseTTL:     *leaseFlag,
 			DrainTimeout: *drainFlag,
 		})
 		if err != nil {
@@ -151,8 +168,14 @@ func main() {
 		Slots:     *slotsFlag,
 		MaxQueue:  *queueFlag,
 	}
-	if *peersFlag != "" {
-		frontCfg.PeerFill = fleet.NewPeerFiller(splitURLs(*peersFlag), 0, 0).Fill
+	// Peer cache fill: static peers come from -peers; with -join the list
+	// is additionally kept in sync with the router's member registry after
+	// every heartbeat (static entries always stay).
+	staticPeers := splitURLs(*peersFlag)
+	var filler *fleet.PeerFiller
+	if len(staticPeers) > 0 || *joinFlag != "" {
+		filler = fleet.NewPeerFiller(staticPeers, 0, 0)
+		frontCfg.PeerFill = filler.Fill
 	}
 	front := serve.NewFront(frontCfg)
 
@@ -206,6 +229,11 @@ func main() {
 		}()
 	}
 
+	// The joiner self-registers this worker at a router and deregisters at
+	// drain time. It is bound late (the advertised URL may derive from the
+	// listen address, known only once Run is serving), so PreDrain loads it
+	// through an atomic pointer.
+	var joiner atomic.Pointer[fleet.Joiner]
 	srv := server.New(server.Config{
 		Front:          front,
 		MaxJobs:        *jobsFlag,
@@ -213,7 +241,41 @@ func main() {
 		ComputeTimeout: *computeFlag,
 		Recorder:       rec,
 		Watch:          pipe,
+		PreDrain: func(ctx context.Context) {
+			if j := joiner.Load(); j != nil {
+				if err := j.Leave(ctx); err != nil {
+					fmt.Fprintf(os.Stderr, "ghostsd: fleet deregister: %v\n", err)
+				}
+			}
+		},
 	})
+
+	if *joinFlag != "" {
+		go func() {
+			self := *advertiseF
+			if self == "" {
+				for srv.Addr() == "" {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(10 * time.Millisecond):
+					}
+				}
+				self = "http://" + srv.Addr()
+			}
+			j, err := fleet.NewJoiner(*joinFlag, self, *leaseFlag, os.Stderr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ghostsd: %v\n", err)
+				return
+			}
+			j.OnPeers = func(peers []string) {
+				merged := append(append([]string(nil), staticPeers...), peers...)
+				filler.SetPeers(merged)
+			}
+			joiner.Store(j)
+			j.Run(ctx)
+		}()
+	}
 
 	err := srv.Run(ctx, *addrFlag)
 	if *metricsFlag != "" {

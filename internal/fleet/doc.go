@@ -14,9 +14,18 @@
 //     "Consistent Hashing with Bounded Loads", Mirrokni et al. 2016): a
 //     member carrying more than ⌈c·total/live⌉ in-flight forwards is
 //     passed over for the next ring candidate until it cools down.
-//   - Prober: health-gated membership. It polls each configured worker's
+//   - Registry: dynamic membership. The member set is static seeds ∪
+//     unexpired heartbeat leases (POST /v1/fleet/join registers or
+//     renews, POST /v1/fleet/leave deregisters); lapsed leases are swept
+//     lazily on every membership read, so the prober's cadence doubles as
+//     the expiry cadence.
+//   - Prober: health-gated liveness. It polls each current member's
 //     /readyz; a draining or dead worker leaves the ring (its keys rehash
 //     to the survivors) and rejoins when the probe passes again.
+//   - Joiner: the worker-side client for the registry. Started by
+//     ghostsd -join, it registers on startup, heartbeats at a third of
+//     the granted lease, learns the peer list from GET /v1/fleet, and
+//     deregisters during graceful drain.
 //   - Router: the HTTP front. POST /v1/estimate is validated once,
 //     canonicalised to its key, and forwarded to the owner; retryable
 //     failures (connection errors, 503 shed, 504 compute timeout) move to

@@ -61,12 +61,36 @@ func (pf *PeerFiller) Fill(ctx context.Context, key string) ([]byte, bool) {
 		if err != nil {
 			continue
 		}
-		b, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBytes))
+		// Read one byte past the cap so an oversized body is detected and
+		// treated as a miss, never cached as a silently truncated prefix.
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBytes+1))
 		resp.Body.Close()
-		if err != nil || resp.StatusCode != http.StatusOK {
+		if err != nil || resp.StatusCode != http.StatusOK || len(b) > maxUpstreamBytes {
 			continue
 		}
 		return b, true
 	}
 	return nil, false
+}
+
+// SetPeers reconciles the filler's candidate set against peers (the
+// worker's current view of the fleet, minus itself): new peers join the
+// filler's private ring, absent ones go not-live. Members keep their
+// virtual nodes across churn, so a peer that drops out and returns owns
+// exactly the same key ranges — the consistent-hashing property the
+// owner-first fill order relies on. Safe for concurrent use with Fill
+// (the Joiner's heartbeat loop calls it while requests are in flight).
+func (pf *PeerFiller) SetPeers(peers []string) {
+	want := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		want[p] = true
+	}
+	for m := range pf.ring.Members() {
+		if !want[m] {
+			pf.ring.SetLive(m, false)
+		}
+	}
+	for p := range want {
+		pf.ring.SetLive(p, true)
+	}
 }

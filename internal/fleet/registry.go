@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ghosts/internal/telemetry"
+)
+
+// DefaultLeaseTTL is the lease granted to a joining worker that does not
+// ask for one. A worker heartbeats at a fraction of its lease (the Joiner
+// renews at TTL/3), so the default tolerates two missed heartbeats before
+// the member is dropped.
+const DefaultLeaseTTL = 15 * time.Second
+
+// MaxLeaseTTL caps the lease a worker may request: a very long lease would
+// keep a crashed worker in the probe list (and in every /v1/fleet response
+// peers derive their fill lists from) long after it stopped answering.
+const MaxLeaseTTL = 5 * time.Minute
+
+// MinLeaseTTL floors a requested lease so a worker cannot register itself
+// into a state where it expires between two back-to-back probe passes.
+const MinLeaseTTL = time.Second
+
+// Registry is the router's dynamic membership table: the union of a static
+// seed list (the -router flag, leaseless, never expires) and workers that
+// self-registered via POST /v1/fleet/join under a heartbeat lease. It
+// decides WHO the fleet's members are; the Ring/Prober pair keeps deciding
+// who is LIVE (a registered member still fails out of the ring when its
+// /readyz stops answering). Lease expiry is enforced lazily: every
+// Members/ProbeList/Snapshot call first drops lapsed leases, so the prober
+// cadence doubles as the expiry cadence with no extra timer.
+//
+// Expired and departed members keep their virtual nodes in the Ring (ring
+// membership is a live flag, not a removal — see Ring), so a worker that
+// rejoins reclaims exactly the keys it owned before, the same minimal-
+// disruption guarantee static membership had.
+type Registry struct {
+	ring *Ring
+	log  io.Writer
+	now  func() time.Time // injectable clock (tests)
+
+	mu     sync.Mutex
+	static []string             // seed members, sorted, no lease
+	leases map[string]time.Time // dynamic member -> lease expiry
+}
+
+// NewRegistry builds a registry over ring seeded with the static members
+// (each inserted into the ring not-live, exactly as the prober used to).
+func NewRegistry(ring *Ring, static []string, log io.Writer) *Registry {
+	r := &Registry{
+		ring:   ring,
+		log:    log,
+		now:    time.Now,
+		static: append([]string(nil), static...),
+		leases: make(map[string]time.Time),
+	}
+	sort.Strings(r.static)
+	for _, m := range r.static {
+		ring.SetLive(m, false)
+	}
+	return r
+}
+
+// NormalizeMemberURL validates and canonicalises a worker base URL as
+// carried by join/leave bodies: http or https scheme, a host, no query or
+// fragment, trailing slash trimmed so path concatenation stays clean.
+func NormalizeMemberURL(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", fmt.Errorf("empty worker URL")
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("parsing worker URL: %v", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("worker URL must be http or https, got %q", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("worker URL %q has no host", raw)
+	}
+	if u.RawQuery != "" || u.Fragment != "" || strings.Trim(u.Path, "/") != "" {
+		return "", fmt.Errorf("worker URL %q must be a bare base URL", raw)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// clampTTL maps a requested lease to the granted one: zero selects the
+// default, everything else clamps into [MinLeaseTTL, MaxLeaseTTL].
+func clampTTL(req, def time.Duration) time.Duration {
+	if req == 0 {
+		if def <= 0 {
+			def = DefaultLeaseTTL
+		}
+		return def
+	}
+	if req < MinLeaseTTL {
+		return MinLeaseTTL
+	}
+	if req > MaxLeaseTTL {
+		return MaxLeaseTTL
+	}
+	return req
+}
+
+// Join registers (or renews) member under a lease of ttl from now and
+// reports whether this was a first sighting rather than a renewal. The
+// member's vnodes enter the ring immediately but not-live: liveness is the
+// prober's call (the router probes a joiner synchronously so a ready
+// worker is routable before its first cadence probe).
+func (r *Registry) Join(member string, ttl time.Duration) (isNew bool) {
+	r.mu.Lock()
+	if r.isStaticLocked(member) {
+		// Seed members need no lease; a join from one is a harmless no-op
+		// (its membership is configuration, its liveness the prober's).
+		r.mu.Unlock()
+		return false
+	}
+	_, hadLease := r.leases[member]
+	r.leases[member] = r.now().Add(ttl)
+	r.mu.Unlock()
+	isNew = !hadLease
+	if isNew {
+		r.ring.SetLive(member, false)
+		telemetry.Active().FleetJoined()
+		if r.log != nil {
+			fmt.Fprintf(r.log, "fleet: worker %s joined (lease %v)\n", member, ttl)
+		}
+	}
+	return isNew
+}
+
+// Leave deregisters a dynamic member (the worker's drain-time goodbye) and
+// takes it out of the ring's live set at once — no waiting for the next
+// probe to notice the drain. Leaving a static or unknown member only flips
+// liveness; the seed list is configuration, not state.
+func (r *Registry) Leave(member string) (known bool) {
+	r.mu.Lock()
+	_, known = r.leases[member]
+	delete(r.leases, member)
+	r.mu.Unlock()
+	r.ring.SetLive(member, false)
+	if known {
+		telemetry.Active().FleetLeft()
+		if r.log != nil {
+			fmt.Fprintf(r.log, "fleet: worker %s left (deregistered)\n", member)
+		}
+	}
+	return known
+}
+
+func (r *Registry) isStaticLocked(member string) bool {
+	i := sort.SearchStrings(r.static, member)
+	return i < len(r.static) && r.static[i] == member
+}
+
+// expireLocked drops every lapsed lease; callers hold r.mu. Ring liveness
+// is flipped outside the registry lock by the caller (SetLive takes the
+// ring's own lock).
+func (r *Registry) expireLocked(now time.Time) []string {
+	var expired []string
+	for m, until := range r.leases {
+		if now.After(until) {
+			delete(r.leases, m)
+			expired = append(expired, m)
+		}
+	}
+	sort.Strings(expired)
+	return expired
+}
+
+// sweep enforces lease expiry and returns the surviving member list
+// (static ∪ leased, sorted, deduplicated).
+func (r *Registry) sweep() []string {
+	r.mu.Lock()
+	expired := r.expireLocked(r.now())
+	members := make([]string, 0, len(r.static)+len(r.leases))
+	members = append(members, r.static...)
+	for m := range r.leases {
+		members = append(members, m)
+	}
+	r.mu.Unlock()
+	for _, m := range expired {
+		r.ring.SetLive(m, false)
+		telemetry.Active().FleetLeaseExpired()
+		if r.log != nil {
+			fmt.Fprintf(r.log, "fleet: worker %s lease expired, dropped from the fleet\n", m)
+		}
+	}
+	sort.Strings(members)
+	return members
+}
+
+// Members returns the current membership (static seeds plus unexpired
+// dynamic joiners), enforcing lease expiry on the way. This is the
+// prober's probe list and the /v1/fleet member set.
+func (r *Registry) Members() []string { return r.sweep() }
+
+// MemberInfo describes one member for the /v1/fleet surface.
+type MemberInfo struct {
+	URL     string
+	Static  bool          // seeded via -router rather than joined
+	LeaseIn time.Duration // time until lease expiry; 0 for static members
+}
+
+// Snapshot returns per-member detail (after an expiry sweep), sorted by
+// URL.
+func (r *Registry) Snapshot() []MemberInfo {
+	members := r.sweep()
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MemberInfo, 0, len(members))
+	for _, m := range members {
+		info := MemberInfo{URL: m, Static: r.isStaticLocked(m)}
+		if until, ok := r.leases[m]; ok {
+			info.LeaseIn = until.Sub(now)
+		}
+		out = append(out, info)
+	}
+	return out
+}

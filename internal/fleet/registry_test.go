@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"ghosts/internal/telemetry"
+)
+
+// fakeClock is an injectable registry clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time                 { return c.t }
+func (c *fakeClock) advance(d time.Duration)        { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                      { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func withClock(r *Registry, c *fakeClock) *Registry { r.now = c.now; return r }
+
+func TestRegistryJoinLeaveExpire(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+	defer telemetry.Disable()
+
+	clock := newFakeClock()
+	ring := NewRing(4)
+	reg := withClock(NewRegistry(ring, []string{"http://static:1"}, io.Discard), clock)
+
+	if got := reg.Members(); !reflect.DeepEqual(got, []string{"http://static:1"}) {
+		t.Fatalf("seed members = %v", got)
+	}
+
+	// First join is new; renewal is not.
+	if !reg.Join("http://w1:1", 10*time.Second) {
+		t.Fatal("first join not reported as new")
+	}
+	if reg.Join("http://w1:1", 10*time.Second) {
+		t.Fatal("renewal reported as new")
+	}
+	if got := rec.FleetJoins.Load(); got != 1 {
+		t.Fatalf("joins counter = %d, want 1 (renewals are not joins)", got)
+	}
+	want := []string{"http://static:1", "http://w1:1"}
+	if got := reg.Members(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("members after join = %v, want %v", got, want)
+	}
+
+	// A static member joining is a no-op: no lease, no counter.
+	if reg.Join("http://static:1", time.Second) {
+		t.Fatal("static member join reported as new")
+	}
+	clock.advance(2 * time.Second)
+	if got := reg.Members(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("static member expired out of the fleet: %v", got)
+	}
+
+	// Renewal extends the lease past the original expiry.
+	clock.advance(9 * time.Second) // 11s after first join, 1s before renewal expiry... renew now
+	reg.Join("http://w1:1", 10*time.Second)
+	clock.advance(9 * time.Second)
+	if got := reg.Members(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("renewed member expired early: %v", got)
+	}
+
+	// Expiry: past the lease the member is dropped and goes not-live.
+	ring.SetLive("http://w1:1", true)
+	clock.advance(2 * time.Second)
+	if got := reg.Members(); !reflect.DeepEqual(got, []string{"http://static:1"}) {
+		t.Fatalf("members after lapse = %v, want just the static seed", got)
+	}
+	if ring.Members()["http://w1:1"] {
+		t.Fatal("expired member still live in the ring")
+	}
+	if got := rec.FleetExpiries.Load(); got != 1 {
+		t.Fatalf("lease_expiries counter = %d, want 1", got)
+	}
+
+	// Rejoin after expiry is a fresh join; leave removes it immediately.
+	if !reg.Join("http://w1:1", 10*time.Second) {
+		t.Fatal("rejoin after expiry not reported as new")
+	}
+	ring.SetLive("http://w1:1", true)
+	if !reg.Leave("http://w1:1") {
+		t.Fatal("leave of a registered member reported unknown")
+	}
+	if reg.Leave("http://w1:1") {
+		t.Fatal("second leave reported known")
+	}
+	if ring.Members()["http://w1:1"] {
+		t.Fatal("departed member still live in the ring")
+	}
+	if got := rec.FleetLeaves.Load(); got != 1 {
+		t.Fatalf("leaves counter = %d, want 1 (unknown leaves are not counted)", got)
+	}
+	if got := reg.Members(); !reflect.DeepEqual(got, []string{"http://static:1"}) {
+		t.Fatalf("members after leave = %v", got)
+	}
+}
+
+func TestRegistrySnapshotLeaseState(t *testing.T) {
+	clock := newFakeClock()
+	reg := withClock(NewRegistry(NewRing(4), []string{"http://static:1"}, io.Discard), clock)
+	reg.Join("http://w1:1", 10*time.Second)
+	clock.advance(4 * time.Second)
+
+	snap := reg.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d members, want 2", len(snap))
+	}
+	if !snap[0].Static || snap[0].URL != "http://static:1" || snap[0].LeaseIn != 0 {
+		t.Fatalf("static snapshot entry = %+v", snap[0])
+	}
+	if snap[1].Static || snap[1].URL != "http://w1:1" || snap[1].LeaseIn != 6*time.Second {
+		t.Fatalf("leased snapshot entry = %+v", snap[1])
+	}
+}
+
+func TestNormalizeMemberURL(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string // want == "" means error
+	}{
+		{"http://host:8080", "http://host:8080"},
+		{"http://host:8080/", "http://host:8080"},
+		{"https://host", "https://host"},
+		{"  http://host:1  ", "http://host:1"},
+		{"", ""},
+		{"host:8080", ""},        // no scheme
+		{"ftp://host", ""},       // wrong scheme
+		{"http://", ""},          // no host
+		{"http://host/path", ""}, // not a base URL
+		{"http://host?x=1", ""},  // query
+		{"http://host#frag", ""}, // fragment
+	} {
+		got, err := NormalizeMemberURL(tc.in)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("NormalizeMemberURL(%q) = %q, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("NormalizeMemberURL(%q) = %q, %v; want %q", tc.in, got, err, tc.want)
+		}
+	}
+}

@@ -4,13 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"sync/atomic"
 	"time"
 
@@ -27,8 +25,9 @@ const maxUpstreamBytes = 8 << 20
 
 // RouterConfig assembles a Router. Zero values select the defaults noted.
 type RouterConfig struct {
-	// Workers are the fleet members' base URLs (e.g. http://10.0.0.1:8080).
-	// Required, at least one.
+	// Workers are static seed members' base URLs (e.g. http://10.0.0.1:8080).
+	// Optional since dynamic membership: a router may start with none and
+	// let workers self-register via POST /v1/fleet/join.
 	Workers []string
 	// Replicas is the virtual-node count per member; default DefaultReplicas.
 	Replicas int
@@ -37,8 +36,14 @@ type RouterConfig struct {
 	LoadBound float64
 	// Retries caps how many additional ring candidates a request may try
 	// after a retryable failure (connection error, 503 shed, 504 compute
-	// timeout). Default 2.
+	// timeout). Zero selects the default of 2; a negative value disables
+	// retries entirely (the repo's negative-disables convention, like
+	// -cache-size), so a retryable failure is relayed to the client as-is.
 	Retries int
+	// LeaseTTL is the lease granted to a joining worker that does not
+	// request one; default DefaultLeaseTTL. Requested leases clamp into
+	// [MinLeaseTTL, MaxLeaseTTL] regardless.
+	LeaseTTL time.Duration
 	// RetryBackoff is the first retry's delay, doubling per retry.
 	// Default 25ms.
 	RetryBackoff time.Duration
@@ -70,6 +75,7 @@ type Router struct {
 	cfg      RouterConfig
 	mux      *http.ServeMux
 	ring     *Ring
+	registry *Registry
 	balancer *Balancer
 	prober   *Prober
 	client   *http.Client
@@ -78,16 +84,17 @@ type Router struct {
 	log      io.Writer
 }
 
-// NewRouter builds a Router from cfg.
+// NewRouter builds a Router from cfg. A router with no static Workers is
+// valid: it starts with an empty fleet and fills in as workers join.
 func NewRouter(cfg RouterConfig) (*Router, error) {
-	if len(cfg.Workers) == 0 {
-		return nil, errors.New("fleet: router needs at least one worker URL")
-	}
-	if cfg.Retries < 0 {
-		cfg.Retries = 0
-	}
-	if cfg.Retries == 0 {
+	switch {
+	case cfg.Retries < 0:
+		cfg.Retries = 0 // negative = retries explicitly disabled
+	case cfg.Retries == 0:
 		cfg.Retries = 2
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 25 * time.Millisecond
@@ -103,19 +110,31 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	seeds := make([]string, 0, len(cfg.Workers))
+	for _, w := range cfg.Workers {
+		u, err := NormalizeMemberURL(w)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: static worker: %v", err)
+		}
+		seeds = append(seeds, u)
+	}
 	ring := NewRing(cfg.Replicas)
+	registry := NewRegistry(ring, seeds, log)
 	rt := &Router{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		ring:     ring,
+		registry: registry,
 		balancer: NewBalancer(ring, cfg.LoadBound),
-		prober:   NewProber(ring, cfg.Workers, cfg.ProbeEvery, cfg.ProbeTimeout, log),
+		prober:   NewProber(ring, registry.Members, cfg.ProbeEvery, cfg.ProbeTimeout, log),
 		client:   client,
 		log:      log,
 	}
 	rt.ready.Store(true)
 	rt.mux.HandleFunc("POST /v1/estimate", rt.instrument("fleet.estimate", rt.handleEstimate))
 	rt.mux.HandleFunc("GET /v1/fleet", rt.instrument("fleet.members", rt.handleFleet))
+	rt.mux.HandleFunc("POST /v1/fleet/join", rt.instrument("fleet.join", rt.handleJoin))
+	rt.mux.HandleFunc("POST /v1/fleet/leave", rt.instrument("fleet.leave", rt.handleLeave))
 	rt.mux.HandleFunc("GET /healthz", rt.instrument("healthz", rt.handleHealthz))
 	rt.mux.HandleFunc("GET /readyz", rt.instrument("readyz", rt.handleReadyz))
 	return rt, nil
@@ -140,6 +159,9 @@ func (rt *Router) ProbeNow(ctx context.Context) { rt.prober.ProbeOnce(ctx) }
 // Ring exposes the membership ring (tests and the /v1/fleet handler).
 func (rt *Router) Ring() *Ring { return rt.ring }
 
+// Registry exposes the dynamic membership registry (tests).
+func (rt *Router) Registry() *Registry { return rt.registry }
+
 // Run serves on addr until ctx is cancelled, then drains gracefully. The
 // prober runs for the duration; one synchronous probe pass happens before
 // the listener opens so the first request already sees live members.
@@ -156,7 +178,7 @@ func (rt *Router) Run(ctx context.Context, addr string) error {
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return ctx },
 	}
-	fmt.Fprintf(rt.log, "ghostsd: listening on http://%s (router over %d workers)\n", ln.Addr(), len(rt.cfg.Workers))
+	fmt.Fprintf(rt.log, "ghostsd: listening on http://%s (router, %d static workers, dynamic joins on POST /v1/fleet/join)\n", ln.Addr(), len(rt.cfg.Workers))
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -210,6 +232,15 @@ func (w *statusWriter) WriteHeader(code int) {
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer (mirroring the worker server's
+// statusWriter) so a streamed passthrough is not buffered behind the
+// instrument middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // errorEnvelope matches the worker's uniform error body, so clients see
@@ -367,11 +398,31 @@ func (rt *Router) forward(ctx context.Context, cands []string, body []byte) *ups
 			}
 			last = u
 			if next < len(cands) {
-				select {
-				case <-time.After(backoff):
-				case <-actx.Done():
-					return last
+				// The backoff must keep draining results: a hedge launched
+				// earlier may win while the sequential path sleeps, and its
+				// response must not wait out a loser's backoff. A further
+				// retryable result short-circuits the sleep — both attempts
+				// already failed, so delaying the next candidate buys nothing.
+				timer := time.NewTimer(backoff)
+				waiting := true
+				for waiting {
+					select {
+					case <-timer.C:
+						waiting = false
+					case u2 := <-results:
+						outstanding--
+						if !u2.retryable() {
+							timer.Stop()
+							return u2
+						}
+						last = u2
+						waiting = false
+					case <-actx.Done():
+						timer.Stop()
+						return last
+					}
 				}
+				timer.Stop()
 				backoff *= 2
 				telemetry.Active().FleetRetried()
 				launch()
@@ -408,9 +459,15 @@ func (rt *Router) attempt(ctx context.Context, member string, body []byte) *upst
 		return &upstream{member: member, err: err}
 	}
 	defer resp.Body.Close()
-	b, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBytes))
+	// Read one byte past the cap: a LimitReader alone would silently
+	// truncate an oversized response and relay the corrupt prefix as
+	// success. Over-cap responses are rejected as attempt failures instead.
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxUpstreamBytes+1))
 	if err != nil {
 		return &upstream{member: member, err: err}
+	}
+	if len(b) > maxUpstreamBytes {
+		return &upstream{member: member, err: fmt.Errorf("response exceeds the %d-byte relay cap", maxUpstreamBytes)}
 	}
 	return &upstream{
 		member: member,
@@ -421,8 +478,9 @@ func (rt *Router) attempt(ctx context.Context, member string, body []byte) *upst
 	}
 }
 
-// fleetEnvelope is the body of GET /v1/fleet: live membership and
-// per-member in-flight load, for operators and the load generator.
+// fleetEnvelope is the body of GET /v1/fleet: registered membership (with
+// lease state) and per-member in-flight load, for operators, the load
+// generator, and workers deriving their peer-fill lists.
 type fleetEnvelope struct {
 	API     string        `json:"api"`
 	Kind    string        `json:"kind"` // always "fleet"
@@ -431,27 +489,135 @@ type fleetEnvelope struct {
 }
 
 type fleetMember struct {
-	URL      string `json:"url"`
-	Live     bool   `json:"live"`
-	Inflight int    `json:"inflight"`
+	URL            string  `json:"url"`
+	Live           bool    `json:"live"`
+	Inflight       int     `json:"inflight"`
+	Source         string  `json:"source"`                     // "static" (seeded) or "lease" (joined)
+	LeaseExpiresIn float64 `json:"lease_expires_in,omitempty"` // seconds; absent for static members
 }
 
 func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
-	members := rt.ring.Members()
-	names := make([]string, 0, len(members))
-	for m := range members {
-		names = append(names, m)
-	}
-	sort.Strings(names)
-	env := fleetEnvelope{API: serve.APIVersion, Kind: "fleet", Live: rt.ring.Live()}
-	for _, m := range names {
-		env.Members = append(env.Members, fleetMember{URL: m, Live: members[m], Inflight: rt.balancer.Inflight(m)})
+	liveness := rt.ring.Members()
+	env := fleetEnvelope{API: serve.APIVersion, Kind: "fleet"}
+	for _, info := range rt.registry.Snapshot() {
+		m := fleetMember{
+			URL:      info.URL,
+			Live:     liveness[info.URL],
+			Inflight: rt.balancer.Inflight(info.URL),
+			Source:   "lease",
+		}
+		if info.Static {
+			m.Source = "static"
+		} else {
+			m.LeaseExpiresIn = info.LeaseIn.Seconds()
+		}
+		if m.Live {
+			env.Live++
+		}
+		env.Members = append(env.Members, m)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(env)
+}
+
+// joinRequest is the body of POST /v1/fleet/join (initial registration and
+// heartbeat renewal alike) and of POST /v1/fleet/leave.
+type joinRequest struct {
+	// URL is the worker's advertised base URL, reachable from the router.
+	URL string `json:"url"`
+	// TTLSeconds is the requested lease; 0 selects the router's default.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// leaseEnvelope is the join response: the granted lease and a suggested
+// heartbeat cadence (renew well before the lease lapses).
+type leaseEnvelope struct {
+	API              string  `json:"api"`
+	Kind             string  `json:"kind"` // always "lease"
+	URL              string  `json:"url"`
+	TTLSeconds       float64 `json:"ttl_seconds"`
+	HeartbeatSeconds float64 `json:"heartbeat_seconds"`
+	Live             bool    `json:"live"` // did the worker pass its admission probe
+}
+
+// decodeJoinBody reads and strictly decodes a join/leave body, returning
+// the normalised member URL.
+func decodeJoinBody(w http.ResponseWriter, r *http.Request) (joinRequest, string, bool) {
+	var req joinRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_json", "decoding request: %v", err)
+		return req, "", false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "invalid_json", "unexpected data after JSON body")
+		return req, "", false
+	}
+	member, err := NormalizeMemberURL(req.URL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", "%s", err.Error())
+		return req, "", false
+	}
+	if req.TTLSeconds < 0 {
+		writeError(w, http.StatusBadRequest, "invalid_request", "ttl_seconds must be non-negative")
+		return req, "", false
+	}
+	return req, member, true
+}
+
+// handleJoin is POST /v1/fleet/join: register (or renew) a worker under a
+// heartbeat lease. The worker is probed synchronously so a ready joiner is
+// routable the moment this call returns; an unready one is registered but
+// stays out of the ring until a probe passes — exactly the static-member
+// admission rule.
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
+	req, member, ok := decodeJoinBody(w, r)
+	if !ok {
+		return
+	}
+	ttl := clampTTL(time.Duration(req.TTLSeconds*float64(time.Second)), rt.cfg.LeaseTTL)
+	rt.registry.Join(member, ttl)
+	live := rt.prober.ProbeMember(r.Context(), member)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(leaseEnvelope{
+		API:              serve.APIVersion,
+		Kind:             "lease",
+		URL:              member,
+		TTLSeconds:       ttl.Seconds(),
+		HeartbeatSeconds: (ttl / 3).Seconds(),
+		Live:             live,
+	})
+}
+
+// leftEnvelope is the leave response.
+type leftEnvelope struct {
+	API        string `json:"api"`
+	Kind       string `json:"kind"` // always "left"
+	URL        string `json:"url"`
+	Registered bool   `json:"registered"` // was the member actually under lease
+}
+
+// handleLeave is POST /v1/fleet/leave: a worker's drain-time deregister.
+// Idempotent — leaving an unknown or already-expired member answers 200
+// with registered=false, so a drain race against lease expiry is harmless.
+func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
+	_, member, ok := decodeJoinBody(w, r)
+	if !ok {
+		return
+	}
+	known := rt.registry.Leave(member)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(leftEnvelope{API: serve.APIVersion, Kind: "left", URL: member, Registered: known})
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -424,3 +424,231 @@ func TestPeerFillerMissAndError(t *testing.T) {
 		t.Fatal("peer-filled bytes differ from the origin response")
 	}
 }
+
+// keyOf computes the canonical request key the router derives at the edge
+// for a raw JSON body (decode → normalise → Key, exactly handleEstimate's
+// path).
+func keyOf(t *testing.T, body string) string {
+	t.Helper()
+	var req serve.EstimateRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return req.Key()
+}
+
+// bodyOwnedBy finds a request body whose ring owner is member (key
+// placement depends on the members' URLs, which httptest picks at
+// runtime).
+func bodyOwnedBy(t *testing.T, rt *Router, member string) string {
+	t.Helper()
+	for i := 0; i < 256; i++ {
+		body := drainBody(i)
+		if seq := rt.Ring().Sequence(keyOf(t, body), 1); len(seq) == 1 && seq[0] == member {
+			return body
+		}
+	}
+	t.Fatalf("no candidate body hashed to %s", member)
+	return ""
+}
+
+// TestRouterRetriesDisabled is the Retries-sentinel regression: a negative
+// Retries disables the retry walk entirely, so a retryable 503 from the
+// key's owner is relayed to the client instead of failing over. Before the
+// sentinel fix both negative and zero were silently coerced to 2 and this
+// request would have succeeded via the healthy worker.
+func TestRouterRetriesDisabled(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	telemetry.Enable(rec)
+	defer telemetry.Disable()
+
+	healthy := newTestWorker(t)
+	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(shedder.Close)
+
+	rt, err := NewRouter(RouterConfig{
+		Workers:      []string{shedder.URL, healthy.ts.URL},
+		Retries:      -1, // explicitly disabled
+		RetryBackoff: time.Millisecond,
+		ProbeEvery:   time.Hour,
+		Log:          io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ProbeNow(context.Background())
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	resp, body := post(t, rts.URL, bodyOwnedBy(t, rt, shedder.URL))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (body %s), want the owner's 503 relayed verbatim", resp.StatusCode, body)
+	}
+	if got := rec.FleetRetries.Load(); got != 0 {
+		t.Fatalf("retries counter = %d with retries disabled", got)
+	}
+
+	// Zero still means the default: the same request now fails over.
+	rt2, err := NewRouter(RouterConfig{
+		Workers:      []string{shedder.URL, healthy.ts.URL},
+		RetryBackoff: time.Millisecond,
+		ProbeEvery:   time.Hour,
+		Log:          io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2.ProbeNow(context.Background())
+	rts2 := httptest.NewServer(rt2.Handler())
+	t.Cleanup(rts2.Close)
+	resp, body = post(t, rts2.URL, bodyOwnedBy(t, rt2, shedder.URL))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default retries: status %d (%s), want failover success", resp.StatusCode, body)
+	}
+}
+
+// TestRouterRejectsOversizedUpstream: a worker response over the relay cap
+// must fail the attempt (502 once every candidate fails), never be
+// truncated to the cap and relayed as corrupt success bytes.
+func TestRouterRejectsOversizedUpstream(t *testing.T) {
+	huge := bytes.Repeat([]byte("x"), maxUpstreamBytes+1)
+	big := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(huge)
+	}))
+	t.Cleanup(big.Close)
+
+	rt, err := NewRouter(RouterConfig{
+		Workers:      []string{big.URL},
+		Retries:      -1,
+		RetryBackoff: time.Millisecond,
+		ProbeEvery:   time.Hour,
+		Log:          io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ProbeNow(context.Background())
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	resp, body := post(t, rts.URL, estimateBody)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502 for an over-cap upstream response", resp.StatusCode)
+	}
+	if len(body) >= maxUpstreamBytes {
+		t.Fatalf("router relayed %d truncated bytes instead of rejecting", len(body))
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "fleet_exhausted" {
+		t.Fatalf("error body = %s", body)
+	}
+}
+
+// TestPeerFillerRejectsOversized: an oversized peer cache body is a miss,
+// never a truncated fill.
+func TestPeerFillerRejectsOversized(t *testing.T) {
+	huge := bytes.Repeat([]byte("x"), maxUpstreamBytes+1)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(huge)
+	}))
+	t.Cleanup(peer.Close)
+
+	pf := NewPeerFiller([]string{peer.URL}, 1, time.Second)
+	key := "0000000000000000000000000000000000000000000000000000000000000000"
+	if b, ok := pf.Fill(context.Background(), key); ok {
+		t.Fatalf("Fill accepted an over-cap body (%d bytes)", len(b))
+	}
+}
+
+// TestRouterStatusWriterFlush: the instrument middleware must forward
+// Flush so a streamed passthrough is not buffered behind it (the worker
+// server had the same fix in PR 7).
+func TestRouterStatusWriterFlush(t *testing.T) {
+	rt, err := NewRouter(RouterConfig{Workers: []string{"http://unused:1"}, ProbeEvery: time.Hour, Log: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed := false
+	h := rt.instrument("test", func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("instrumented ResponseWriter does not implement http.Flusher")
+		}
+		w.Write([]byte("frame 1\n"))
+		f.Flush()
+		flushed = true
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/test", nil))
+	if !flushed {
+		t.Fatal("handler never reached Flush")
+	}
+	if !rec.Flushed {
+		t.Fatal("Flush did not propagate to the underlying writer")
+	}
+}
+
+// TestForwardHedgeNotDelayedByBackoff pins the backoff/hedge interaction:
+// a hedge that completes with a good response while the sequential retry
+// path sleeps out a loser's backoff must win immediately, not wait for the
+// backoff (or further candidates). Pre-fix, the backoff select ignored the
+// results channel and this took the full RetryBackoff.
+func TestForwardHedgeNotDelayedByBackoff(t *testing.T) {
+	// slow answers well after the hedge fires but long before the backoff
+	// expires; shed fails instantly and retryably.
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(80 * time.Millisecond)
+		w.Write([]byte("slow-ok"))
+	}))
+	t.Cleanup(slow.Close)
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(shed.Close)
+
+	rt, err := NewRouter(RouterConfig{
+		Workers:      []string{slow.URL, shed.URL},
+		HedgeAfter:   10 * time.Millisecond,
+		RetryBackoff: 5 * time.Second,
+		ProbeEvery:   time.Hour,
+		Log:          io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Candidate order: the hedge races shed (instant 503) against slow
+	// (good after 80ms); the third candidate exists so the retry path has
+	// somewhere to back off toward — pre-fix it slept 5s there while
+	// slow's win sat undrained in the channel.
+	t0 := time.Now()
+	u := rt.forward(context.Background(), []string{slow.URL, shed.URL, shed.URL}, []byte("{}"))
+	elapsed := time.Since(t0)
+	if u == nil || u.err != nil || u.status != http.StatusOK {
+		t.Fatalf("forward = %+v, want slow's 200", u)
+	}
+	if string(u.body) != "slow-ok" || u.member != slow.URL {
+		t.Fatalf("forward returned %q from %s, want slow-ok from the slow worker", u.body, u.member)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("good hedge result waited %v behind a loser's backoff", elapsed)
+	}
+}

@@ -55,6 +55,13 @@ type Config struct {
 	// means the route answers 404 — ghostsd without a live feed has no
 	// tick stream to serve.
 	Watch *ingest.Pipeline
+	// PreDrain, when set, runs at the start of graceful shutdown — after
+	// readiness flips but before the listener closes — with a context
+	// bounded by the drain budget. ghostsd uses it to deregister from the
+	// fleet router (fleet.Joiner.Leave) while this worker's cache is still
+	// being served, so displaced keys can be peer-filled during the drain
+	// window instead of refitted.
+	PreDrain func(ctx context.Context)
 	// Log receives one line per lifecycle event; default os.Stderr.
 	Log io.Writer
 }
@@ -66,6 +73,7 @@ type Server struct {
 	front          *serve.Front
 	jobs           *serve.Jobs
 	watch          *ingest.Pipeline
+	preDrain       func(ctx context.Context)
 	ready          atomic.Bool
 	addr           atomic.Value // string; set once Run is listening
 	drainTimeout   time.Duration
@@ -83,6 +91,7 @@ func New(cfg Config) *Server {
 		mux:            http.NewServeMux(),
 		front:          cfg.Front,
 		watch:          cfg.Watch,
+		preDrain:       cfg.PreDrain,
 		drainTimeout:   cfg.DrainTimeout,
 		computeTimeout: cfg.ComputeTimeout,
 		log:            cfg.Log,
@@ -186,6 +195,9 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	s.jobs.BeginShutdown()
 	shutCtx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
 	defer cancel()
+	if s.preDrain != nil {
+		s.preDrain(shutCtx)
+	}
 	shutErr := hs.Shutdown(shutCtx)
 	s.jobs.Drain()
 	fmt.Fprintf(s.log, "ghostsd: shutdown complete\n")

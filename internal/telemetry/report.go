@@ -106,8 +106,8 @@ type ServeReport struct {
 	Panics         int64             `json:"panics"`
 	Canceled       int64             `json:"canceled"`
 	TimedOut       int64             `json:"timed_out"`
-	SlotsBusy      int64             `json:"slots_busy"`     // gauge at snapshot time
-	QueueWaiting   int64             `json:"queue_waiting"`  // gauge at snapshot time
+	SlotsBusy      int64             `json:"slots_busy"`    // gauge at snapshot time
+	QueueWaiting   int64             `json:"queue_waiting"` // gauge at snapshot time
 }
 
 // FleetReport summarises the fleet layer (metric prefix fleet): router
@@ -120,6 +120,9 @@ type FleetReport struct {
 	Failovers      int64 `json:"failovers"`
 	Exhausted      int64 `json:"exhausted"`
 	Members        int64 `json:"members"` // gauge at snapshot time
+	Joins          int64 `json:"joins"`
+	Leaves         int64 `json:"leaves"`
+	LeaseExpiries  int64 `json:"lease_expiries"`
 	PeerFills      int64 `json:"peer_fills"`
 	PeerFillMisses int64 `json:"peer_fill_misses"`
 }
@@ -227,6 +230,9 @@ func (r *Recorder) Report(started, finished time.Time, workers int) *Report {
 		Failovers:      r.FleetFailovers.Load(),
 		Exhausted:      r.FleetExhausted.Load(),
 		Members:        r.FleetMembers.Load(),
+		Joins:          r.FleetJoins.Load(),
+		Leaves:         r.FleetLeaves.Load(),
+		LeaseExpiries:  r.FleetExpiries.Load(),
 		PeerFills:      r.PeerFills.Load(),
 		PeerFillMisses: r.PeerFillMisses.Load(),
 	}

@@ -64,6 +64,10 @@ func populate() *Recorder {
 	r.FleetFailedOver()
 	r.FleetGaveUp()
 	r.FleetMembersNow(2)
+	r.FleetJoined()
+	r.FleetJoined()
+	r.FleetLeft()
+	r.FleetLeaseExpired()
 	r.PeerFill(true)
 	r.PeerFill(true)
 	r.PeerFill(false)
@@ -202,6 +206,9 @@ const goldenReport = `{
     "failovers": 1,
     "exhausted": 1,
     "members": 2,
+    "joins": 2,
+    "leaves": 1,
+    "lease_expiries": 1,
     "peer_fills": 2,
     "peer_fill_misses": 1
   },

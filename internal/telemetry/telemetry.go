@@ -260,6 +260,9 @@ type Recorder struct {
 	FleetFailovers Counter // responses served by a non-primary ring candidate
 	FleetExhausted Counter // forwards that ran out of candidate workers
 	FleetMembers   Gauge   // ring members currently passing /readyz
+	FleetJoins     Counter // workers registered via POST /v1/fleet/join (new members, not renewals)
+	FleetLeaves    Counter // workers deregistered via POST /v1/fleet/leave
+	FleetExpiries  Counter // dynamic members dropped because their lease lapsed
 	PeerFills      Counter // cache misses answered from a fleet peer's cache
 	PeerFillMisses Counter // peer-fill rounds that found no stored copy
 
@@ -638,6 +641,33 @@ func (r *Recorder) FleetMembersNow(n int) {
 		return
 	}
 	r.FleetMembers.Set(int64(n))
+}
+
+// FleetJoined records a new worker registering with the router's dynamic
+// membership registry (heartbeat renewals are not counted).
+func (r *Recorder) FleetJoined() {
+	if r == nil {
+		return
+	}
+	r.FleetJoins.Inc()
+}
+
+// FleetLeft records a worker deregistering from the membership registry
+// (the drain-time POST /v1/fleet/leave).
+func (r *Recorder) FleetLeft() {
+	if r == nil {
+		return
+	}
+	r.FleetLeaves.Inc()
+}
+
+// FleetLeaseExpired records a dynamic member dropped from the registry
+// because its lease lapsed without a heartbeat.
+func (r *Recorder) FleetLeaseExpired() {
+	if r == nil {
+		return
+	}
+	r.FleetExpiries.Inc()
 }
 
 // PeerFill records one peer cache-fill round on a worker: hit means a peer

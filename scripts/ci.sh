@@ -118,7 +118,7 @@ cleanup_fleet() { # replaces cleanup_smoke as the EXIT trap, so take SMOKEDIR to
     for pid in "${W1PID:-}" "${W2PID:-}" "${RPID:-}"; do
         [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
     done
-    rm -rf "$FLEETDIR" "$SMOKEDIR"
+    rm -rf "$FLEETDIR" "$SMOKEDIR" # SMOKEDIR still holds the shared binary
 }
 trap cleanup_fleet EXIT
 wait_base() { # logfile -> prints base URL once the daemon logs it
@@ -158,8 +158,87 @@ RPID=""
 kill -TERM "$W1PID"
 wait "$W1PID" || { echo "worker 1 did not exit cleanly on SIGTERM" >&2; exit 1; }
 W1PID=""
-cleanup_fleet
+rm -rf "$FLEETDIR"
 trap - EXIT
 echo "fleet smoke OK ($ROUTER over $W1, $W2)"
+
+echo "== dynamic fleet smoke =="
+# Zero static topology: a router in -router-mode starts with no workers,
+# workers self-register over POST /v1/fleet/join and learn their peers
+# from GET /v1/fleet. The sequence exercises every membership transition
+# (FLEET.md "Dynamic membership"): two joins at runtime, a third join, a
+# death by lease lapse (SIGKILL, no clean leave), a clean deregistration
+# (SIGTERM drain), and byte-identical estimates before and after.
+DYNDIR="$(mktemp -d)"
+cleanup_dyn() { # replaces cleanup_fleet as the EXIT trap, so take SMOKEDIR too
+    for pid in "${D1PID:-}" "${D2PID:-}" "${D3PID:-}" "${DRPID:-}"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$DYNDIR" "$SMOKEDIR"
+}
+trap cleanup_dyn EXIT
+wait_fleet() { # router-url live-count -> waits for GET /v1/fleet to report it
+    for _ in $(seq 1 100); do
+        curl -fsS "$1/v1/fleet" | grep -q "\"live\": $2," && return 0
+        sleep 0.1
+    done
+    echo "fleet never reached live=$2:" >&2
+    curl -fsS "$1/v1/fleet" >&2 || true
+    return 1
+}
+"$SMOKEDIR/ghostsd" -router-mode -probe-every 200ms -lease-ttl 1s \
+    -addr 127.0.0.1:0 2> "$DYNDIR/router.log" &
+DRPID=$!
+DROUTER="$(wait_base "$DYNDIR/router.log")" || { echo "dynamic router never came up" >&2; cat "$DYNDIR/router.log" >&2; exit 1; }
+# With no members the router is up but not ready.
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$DROUTER/readyz")" = "503" ] \
+    || { echo "empty router claims readiness" >&2; exit 1; }
+"$SMOKEDIR/ghostsd" -addr 127.0.0.1:0 -join "$DROUTER" 2> "$DYNDIR/d1.log" &
+D1PID=$!
+"$SMOKEDIR/ghostsd" -addr 127.0.0.1:0 -join "$DROUTER" 2> "$DYNDIR/d2.log" &
+D2PID=$!
+wait_fleet "$DROUTER" 2
+curl -fsS "$DROUTER/v1/fleet" | grep -q '"source": "lease"' \
+    || { echo "joined workers not marked as leased members" >&2; exit 1; }
+curl -fsS "$DROUTER/readyz" | grep -q '^ok$' \
+    || { echo "router not ready after two joins" >&2; exit 1; }
+curl -fsS -X POST "$DROUTER/v1/estimate" -d "$FLEETBODY" > "$DYNDIR/before.json"
+grep -q '"kind": "estimate"' "$DYNDIR/before.json"
+# A third worker joins at runtime and is routable.
+"$SMOKEDIR/ghostsd" -addr 127.0.0.1:0 -join "$DROUTER" 2> "$DYNDIR/d3.log" &
+D3PID=$!
+wait_fleet "$DROUTER" 3
+# Kill it without ceremony: no leave, no drain — its lease must lapse
+# (1s TTL) and the router must sweep it out on its own. Liveness drops
+# within one probe interval; full deregistration takes the lease TTL.
+D3URL="$(wait_base "$DYNDIR/d3.log")"
+kill -9 "$D3PID"
+wait "$D3PID" 2>/dev/null || true
+D3PID=""
+for _ in $(seq 1 100); do
+    curl -fsS "$DROUTER/v1/fleet" | grep -q "\"url\": \"$D3URL\"" || break
+    sleep 0.1
+done
+curl -fsS "$DROUTER/v1/fleet" | grep -q "\"url\": \"$D3URL\"" \
+    && { echo "lease-lapsed worker still registered" >&2; exit 1; }
+wait_fleet "$DROUTER" 2
+# SIGTERM a worker: its drain deregisters it immediately (PreDrain leave,
+# before the probe cadence could even notice).
+kill -TERM "$D2PID"
+wait "$D2PID" || { echo "dynamic worker 2 did not exit cleanly on SIGTERM" >&2; exit 1; }
+D2PID=""
+wait_fleet "$DROUTER" 1
+curl -fsS -X POST "$DROUTER/v1/estimate" -d "$FLEETBODY" > "$DYNDIR/after.json"
+cmp -s "$DYNDIR/before.json" "$DYNDIR/after.json" \
+    || { echo "dynamic fleet response changed across churn" >&2; exit 1; }
+kill -TERM "$DRPID"
+wait "$DRPID" || { echo "dynamic router did not exit cleanly on SIGTERM" >&2; exit 1; }
+DRPID=""
+kill -TERM "$D1PID"
+wait "$D1PID" || { echo "dynamic worker 1 did not exit cleanly on SIGTERM" >&2; exit 1; }
+D1PID=""
+cleanup_dyn
+trap - EXIT
+echo "dynamic fleet smoke OK ($DROUTER)"
 
 echo "CI OK"
