@@ -16,13 +16,18 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"ghosts/internal/core"
 	"ghosts/internal/crossval"
 	"ghosts/internal/dataset"
 	"ghosts/internal/experiments"
+	"ghosts/internal/ingest"
+	"ghosts/internal/ipv4"
+	"ghosts/internal/rng"
 	"ghosts/internal/sources"
 	"ghosts/internal/strata"
 	"ghosts/internal/universe"
@@ -457,5 +462,76 @@ func BenchmarkPortSurvey(b *testing.B) {
 		d.Render(io.Discard)
 		b.ReportMetric(float64(d.Responders[80]), "port80")
 		b.ReportMetric(float64(d.Responders[443]), "port443")
+	}
+}
+
+// BenchmarkStreamTick measures one streaming re-estimation tick against a
+// pre-filled window ring, sweeping the fraction of the population that
+// arrives as fresh events between ticks. Each iteration is (dirty events
+// offered) + (one forced tick), so ns/op is ns/tick at that churn rate.
+// "incremental" is the default per-window capture-mask histogram
+// (hist[old]--, hist[old|bit]++ per event, the tick reads the histogram);
+// "rebuild" is Config.Rebuild, which re-folds every window set through
+// ipset.CaptureHistogram on each tick. STREAMING.md and DESIGN.md §10
+// derive why the gap widens as the dirty fraction shrinks; bench.sh
+// records both series so the speedup is a committed number.
+func BenchmarkStreamTick(b *testing.B) {
+	const (
+		perSource = 40000 // addresses offered per source per window
+		windows   = 3
+		nsources  = 3
+	)
+	for _, mode := range []struct {
+		name    string
+		rebuild bool
+	}{{"incremental", false}, {"rebuild", true}} {
+		for _, dirtyPct := range []int{1, 10, 100} {
+			b.Run(fmt.Sprintf("%s/dirty=%d%%", mode.name, dirtyPct), func(b *testing.B) {
+				p := ingest.New(ingest.Config{
+					Window:  time.Hour,
+					Windows: windows,
+					Every:   30 * time.Minute,
+					Sources: []string{"v1", "v2", "v3"},
+					Rebuild: mode.rebuild,
+				})
+				r := rng.New(7)
+				start := time.Unix(1700000000, 0).UTC()
+				// Fill the ring: per window, perSource draws per source
+				// from a 2^28 span, so addresses land on mostly-distinct
+				// /24 pages (the realistic sparse regime where the
+				// set-fold pays per page, not per word).
+				at := start
+				for w := 0; w < windows; w++ {
+					at = start.Add(time.Duration(w)*time.Hour + time.Minute)
+					for i := 0; i < perSource; i++ {
+						a := ipv4.Addr(r.Uint64n(1 << 28))
+						for s := 0; s < nsources; s++ {
+							if r.Bernoulli(0.6) {
+								p.Offer(s, a, at)
+							}
+						}
+					}
+				}
+				p.Flush() // settle: every window estimated once, warm starts primed
+				dirty := perSource * dirtyPct / 100
+				lat := make([]time.Duration, 0, b.N)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < dirty; j++ {
+						p.Offer(j%nsources, ipv4.Addr(r.Uint64n(1<<28)), at)
+					}
+					t0 := time.Now()
+					if tk := p.Flush(); tk == nil || len(tk.Windows) == 0 {
+						b.Fatal("flush produced no tick")
+					}
+					lat = append(lat, time.Since(t0))
+				}
+				b.StopTimer()
+				sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+				p99 := lat[len(lat)*99/100]
+				b.ReportMetric(float64(p99.Microseconds()), "tick-p99-us")
+				b.ReportMetric(float64(dirty*b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
 	}
 }

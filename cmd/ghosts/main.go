@@ -83,6 +83,7 @@ func main() {
 		windowFlag   = flag.Duration("window", time.Minute, "streaming: width of one observation window (with -replay)")
 		windowsFlag  = flag.Int("windows", 3, "streaming: live windows kept before the oldest rotates out (with -replay)")
 		everyFlag    = flag.Duration("every", 30*time.Second, "streaming: re-estimation cadence (with -replay)")
+		rotateFlag   = flag.Int("rotate-every", 0, "streaming: rotate windows every N accepted events instead of by wall clock; windows are then labelled by event ordinal (with -replay)")
 		limitFlag    = flag.Float64("limit", 0, "streaming: right-truncation bound per window estimate, 0 = unbounded (with -replay)")
 		parallelFlag = flag.Int("parallel", 0, "worker goroutines for the estimation engine (0 = GOMAXPROCS, 1 = serial)")
 		metricsFlag  = flag.String("metrics", "", "write a JSON telemetry run report to this path (see OBSERVABILITY.md)")
@@ -122,11 +123,12 @@ func main() {
 
 	if *replayFlag != "" {
 		opt := replayOptions{
-			Window:  *windowFlag,
-			Windows: *windowsFlag,
-			Every:   *everyFlag,
-			Limit:   *limitFlag,
-			JSON:    *jsonFlag,
+			Window:      *windowFlag,
+			Windows:     *windowsFlag,
+			Every:       *everyFlag,
+			RotateEvery: *rotateFlag,
+			Limit:       *limitFlag,
+			JSON:        *jsonFlag,
 		}
 		if err := runReplay(*replayFlag, opt, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)

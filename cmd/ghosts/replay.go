@@ -12,11 +12,12 @@ import (
 
 // replayOptions carries the streaming flags into the -replay mode.
 type replayOptions struct {
-	Window  time.Duration
-	Windows int
-	Every   time.Duration
-	Limit   float64
-	JSON    bool
+	Window      time.Duration
+	Windows     int
+	Every       time.Duration
+	RotateEvery int
+	Limit       float64
+	JSON        bool
 }
 
 // runReplay streams a raw-IP pcap through the ingest pipeline and prints
@@ -33,10 +34,11 @@ func runReplay(path string, opt replayOptions, stdout io.Writer) error {
 	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 	cfg := ingest.Config{
-		Window:  opt.Window,
-		Windows: opt.Windows,
-		Every:   opt.Every,
-		Limit:   opt.Limit,
+		Window:      opt.Window,
+		Windows:     opt.Windows,
+		Every:       opt.Every,
+		RotateEvery: opt.RotateEvery,
+		Limit:       opt.Limit,
 	}
 	if opt.JSON {
 		cfg.OnTick = func(tk *ingest.Tick) { out.Write(tk.Encode()) }

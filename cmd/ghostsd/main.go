@@ -105,6 +105,7 @@ func main() {
 		wwindowFlag  = flag.Duration("watch-window", time.Minute, "streaming: width of one observation window (with -netflow-listen)")
 		wcountFlag   = flag.Int("watch-windows", 3, "streaming: live windows kept before the oldest rotates out (with -netflow-listen)")
 		weveryFlag   = flag.Duration("watch-every", 30*time.Second, "streaming: re-estimation cadence (with -netflow-listen)")
+		wrotateFlag  = flag.Int("watch-rotate-every", 0, "streaming: rotate windows every N accepted events instead of by wall clock; windows are then labelled by event ordinal (with -netflow-listen)")
 		routerFlag   = flag.String("router", "", "fleet router mode: comma-separated static worker base URLs to route across (disables the local engine)")
 		routerModeF  = flag.Bool("router-mode", false, "fleet router mode with no static workers: membership comes entirely from POST /v1/fleet/join")
 		joinFlag     = flag.String("join", "", "worker mode: router base URL to self-register at under a heartbeat lease (peers are then derived from GET /v1/fleet)")
@@ -187,9 +188,10 @@ func main() {
 	var pipe *ingest.Pipeline
 	if *netflowFlag {
 		pipe = ingest.New(ingest.Config{
-			Window:  *wwindowFlag,
-			Windows: *wcountFlag,
-			Every:   *weveryFlag,
+			Window:      *wwindowFlag,
+			Windows:     *wcountFlag,
+			Every:       *weveryFlag,
+			RotateEvery: *wrotateFlag,
 		})
 		// The header timestamp is attacker-controlled wire input: one
 		// datagram stamped far in the future would drag the pipeline's

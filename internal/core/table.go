@@ -31,6 +31,28 @@ func TableFromSets(sets []*ipset.Set, names []string) *Table {
 	return tb
 }
 
+// TableFromHistogram wraps an externally maintained capture histogram as
+// a contingency table for len(names) sources. counts must have length
+// 1<<len(names) with cell 0 (the unobserved cell) zero; it is aliased,
+// not copied, so the caller must not mutate it while the table is in
+// use. The estimator never writes or retains table counts, which is what
+// lets the streaming pipeline hand its incrementally maintained
+// histograms (ipset.MaskHist) straight to a fit with no per-tick fold or
+// copy.
+func TableFromHistogram(counts []int64, names []string) *Table {
+	t := len(names)
+	if t < 1 || t > 16 {
+		panic("core: table supports 1..16 sources")
+	}
+	if len(counts) != 1<<uint(t) {
+		panic(fmt.Sprintf("core: TableFromHistogram: %d cells for %d sources, want %d", len(counts), t, 1<<uint(t)))
+	}
+	if counts[0] != 0 {
+		panic("core: TableFromHistogram: unobserved cell must be zero")
+	}
+	return &Table{T: t, Counts: counts, Names: names}
+}
+
 // Observed returns M, the total number of observed individuals.
 func (tb *Table) Observed() int64 {
 	var m int64

@@ -106,6 +106,47 @@ func TestTableFromSets(t *testing.T) {
 	}
 }
 
+func TestTableFromHistogram(t *testing.T) {
+	a, b := ipset.New(), ipset.New()
+	a.Add(ipv4.MustParseAddr("1.2.3.4"))
+	a.Add(ipv4.MustParseAddr("1.2.3.5"))
+	b.Add(ipv4.MustParseAddr("1.2.3.5"))
+	b.Add(ipv4.MustParseAddr("9.9.9.9"))
+	names := []string{"A", "B"}
+	want := TableFromSets([]*ipset.Set{a, b}, names)
+	got := TableFromHistogram(ipset.CaptureHistogram([]*ipset.Set{a, b}), names)
+	if got.T != want.T || got.Observed() != want.Observed() {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for s := range want.Counts {
+		if got.Counts[s] != want.Counts[s] {
+			t.Fatalf("cell %b = %d, want %d", s, got.Counts[s], want.Counts[s])
+		}
+	}
+	// The histogram is aliased, not copied.
+	hist := make([]int64, 4)
+	tb := TableFromHistogram(hist, names)
+	hist[1] = 7
+	if tb.Counts[1] != 7 {
+		t.Fatal("TableFromHistogram must alias the histogram")
+	}
+
+	for _, fn := range []func(){
+		func() { TableFromHistogram(make([]int64, 4), nil) },
+		func() { TableFromHistogram(make([]int64, 3), names) },
+		func() { TableFromHistogram([]int64{1, 0, 0, 0}, names) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestDropEmptySources(t *testing.T) {
 	tb := NewTable(3)
 	tb.Names = []string{"A", "B", "C"}

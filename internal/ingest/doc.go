@@ -1,9 +1,13 @@
 // Package ingest is the streaming estimation pipeline: it consumes capture
 // events from live feeds (the NetFlow collector, active probing) or from a
-// recorded pcap, maintains per-source observation sets over N sliding time
-// windows, and re-estimates the used population N̂ per window on a fixed
-// cadence, warm-starting each window's IRLS fit from its own previous
-// tick.
+// recorded pcap, maintains each of N sliding windows' capture-pattern
+// histogram incrementally (ipset.MaskHist: one O(1) cell move per novel
+// event, so tick cost is independent of window contents), and
+// re-estimates the used population N̂ per window on a fixed cadence —
+// dirty windows concurrently, warm-starting each window's IRLS fit from
+// its own previous tick. Windows rotate by wall clock or, with
+// Config.RotateEvery, by accepted-event count; Config.Rebuild selects
+// the set-fold reference path the differential tests compare against.
 //
 // All behaviour is driven by a logical event clock — the high-water
 // event timestamp — never by the system clock, so replaying a capture

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -8,17 +9,22 @@ import (
 	"ghosts/internal/core"
 	"ghosts/internal/ipset"
 	"ghosts/internal/ipv4"
+	"ghosts/internal/parallel"
 	"ghosts/internal/telemetry"
 )
 
 // MaxSources is the capture-history limit inherited from the estimator: a
-// contingency table supports at most 16 sources.
+// contingency table supports at most 16 sources. The per-window capture
+// masks are uint16, so the limit is enforced structurally at config time
+// (New panics on more pre-registered sources; Source errors past it).
 const MaxSources = 16
 
 // Config assembles a Pipeline. Zero values select the defaults noted on
 // each field.
 type Config struct {
 	// Window is the width of one observation window; default 1 minute.
+	// Ignored for windowing when RotateEvery is set (it still anchors the
+	// default cadence).
 	Window time.Duration
 	// Windows is the number of live windows kept (the ring size N);
 	// default 4. Events older than the oldest live window are dropped.
@@ -28,12 +34,29 @@ type Config struct {
 	// window is re-estimated at least twice while it is still filling
 	// (which is what makes warm starts pay).
 	Every time.Duration
+	// RotateEvery, when positive, selects count-based rotation: window k
+	// holds exactly the k·N-th .. (k+1)·N−1-th accepted events (N =
+	// RotateEvery) regardless of their timestamps, so every window
+	// carries equal statistical weight under bursty feeds. Windows are
+	// then labelled by event ordinal ("#3000") instead of wall time, no
+	// event can be late (ordinals are assigned at acceptance and only
+	// grow), and rotation is driven purely by intake; ticks stay
+	// cadence-driven on the logical event clock.
+	RotateEvery int
 	// Limit right-truncates each window's estimate (the routed-space
 	// bound); 0 means unbounded.
 	Limit float64
 	// Sources pre-registers source names in table order. Feeds may also
 	// register lazily through Pipeline.Source.
 	Sources []string
+	// Rebuild selects the reference tick path: per-source ipset.Sets per
+	// window, folded through core.TableFromSets on every dirty tick —
+	// the pre-incremental behaviour, O(held addresses) per tick. The
+	// default path maintains each window's capture histogram
+	// incrementally (ipset.MaskHist, O(1) per event) and must emit
+	// bit-identical estimates; the differential tests and the
+	// BenchmarkStreamTick baseline are the only intended users.
+	Rebuild bool
 	// OnTick, when non-nil, is invoked synchronously with every tick, in
 	// tick order, before channel subscribers see it. Replay uses it to
 	// emit a deterministic estimate series.
@@ -42,8 +65,11 @@ type Config struct {
 
 // WindowEstimate is one live window's state at a tick.
 type WindowEstimate struct {
-	Start    string  `json:"start"` // RFC 3339 UTC, inclusive
-	End      string  `json:"end"`   // RFC 3339 UTC, exclusive
+	// Start and End delimit the window: RFC 3339 UTC instants for
+	// wall-clock windows (half-open [Start, End)), or "#<ordinal>" event
+	// ordinals under count-based rotation (Config.RotateEvery).
+	Start    string  `json:"start"`
+	End      string  `json:"end"`
 	Sources  int     `json:"sources"`
 	Observed int64   `json:"observed"`
 	Estimate float64 `json:"estimate"`
@@ -58,18 +84,54 @@ type WindowEstimate struct {
 	Model []string `json:"model,omitempty"`
 }
 
-// windowState is one slot of the window ring.
+// Equal reports whether two window estimates carry identical figures —
+// field-for-field, including the selected model terms. Delta watch frames
+// use it to decide which windows a subscriber needs to see again.
+func (we *WindowEstimate) Equal(o *WindowEstimate) bool {
+	if we.Start != o.Start || we.End != o.End ||
+		we.Sources != o.Sources || we.Observed != o.Observed ||
+		we.Estimate != o.Estimate || we.Unseen != o.Unseen ||
+		we.Estimated != o.Estimated || we.Warm != o.Warm ||
+		len(we.Model) != len(o.Model) {
+		return false
+	}
+	for i := range we.Model {
+		if we.Model[i] != o.Model[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// windowState is one slot of the window ring. Exactly one of hist/sets is
+// populated once the window holds an event: hist on the default
+// incremental path, sets under Config.Rebuild.
 type windowState struct {
-	index int64           // absolute window number (event time / width); -1 = unused
-	sets  []*ipset.Set    // per-source observation sets, indexed like names
+	index int64           // absolute window number; -1 = unused
+	hist  *ipset.MaskHist // incrementally maintained capture histogram
+	sets  []*ipset.Set    // per-source observation sets (Rebuild reference)
 	warm  *core.FitResult // previous tick's accepted fit for this window
 	last  *WindowEstimate // previous tick's published estimate
 	dirty bool            // events arrived since last estimated
 }
 
-// Pipeline maintains per-source capture histograms over N sliding time
+// tickScratch is one worker's reusable fit-input buffers for the tick
+// fan-out: compacted histogram cells and the matching kept-source names.
+// The estimator neither mutates nor retains table inputs, so one scratch
+// serves every window a worker claims with no per-window allocation.
+type tickScratch struct {
+	counts []int64
+	names  []string
+	sets   []*ipset.Set
+	keep   []int
+}
+
+// Pipeline maintains per-source capture histograms over N sliding
 // windows and re-estimates the used population N̂ per window on a fixed
 // cadence, warm-starting each window's IRLS fit from its previous tick.
+// Each accepted event updates its window's capture histogram in place —
+// hist[old]−−, hist[old|bit]++ — so tick cost is proportional to the
+// windows that changed, never to the addresses they hold.
 //
 // All of its behaviour is driven by the logical event clock — the largest
 // event (or Advance) timestamp seen so far — never by the system clock, so
@@ -87,6 +149,7 @@ type Pipeline struct {
 	clock    time.Time // high-water event time
 	started  bool      // an event or Advance has set the clock
 	nextTick int64     // absolute tick number to fire next
+	accepted int64     // accepted events (count-mode window ordinals)
 	seq      int64
 	last     *Tick
 	subs     map[int]chan *Tick
@@ -104,6 +167,9 @@ func New(cfg Config) *Pipeline {
 	}
 	if cfg.Every <= 0 {
 		cfg.Every = cfg.Window / 2
+	}
+	if cfg.RotateEvery < 0 {
+		cfg.RotateEvery = 0
 	}
 	p := &Pipeline{
 		cfg:    cfg,
@@ -157,8 +223,9 @@ func (p *Pipeline) Sources() []string {
 // Offer ingests one capture event: source (a Source index) observed addr
 // at time t. The event lands in the window containing t — windows are
 // half-open [start, start+Window), so an event exactly on a boundary
-// belongs to the newer window only. Events older than the oldest live
-// window are dropped (counted in telemetry as ingest.dropped). Offer
+// belongs to the newer window only — or, under count-based rotation, in
+// the newest window by acceptance ordinal. Events older than the oldest
+// live window are dropped (counted in telemetry as ingest.dropped). Offer
 // advances the event clock, so it may fire due ticks and rotations first.
 func (p *Pipeline) Offer(source int, addr ipv4.Addr, t time.Time) {
 	p.mu.Lock()
@@ -169,12 +236,21 @@ func (p *Pipeline) Offer(source int, addr ipv4.Addr, t time.Time) {
 		return
 	}
 	p.advanceLocked(t)
-	idx := t.UnixNano() / int64(p.cfg.Window)
-	if idx <= p.newest-int64(len(p.ring)) {
-		// The event's window was already retired.
-		p.dropped++
-		telemetry.Active().IngestEventDropped()
-		return
+	var idx int64
+	if n := int64(p.cfg.RotateEvery); n > 0 {
+		// Count mode: ordinals are assigned at acceptance and only grow,
+		// so the event always belongs to the newest window and can never
+		// be late.
+		idx = p.accepted / n
+		p.openLocked(idx)
+	} else {
+		idx = t.UnixNano() / int64(p.cfg.Window)
+		if idx <= p.newest-int64(len(p.ring)) {
+			// The event's window was already retired.
+			p.dropped++
+			telemetry.Active().IngestEventDropped()
+			return
+		}
 	}
 	w := &p.ring[int(idx%int64(len(p.ring)))]
 	if w.index != idx {
@@ -185,14 +261,37 @@ func (p *Pipeline) Offer(source int, addr ipv4.Addr, t time.Time) {
 		// within the ring. Each live-range index maps to exactly one slot,
 		// and openLocked is a no-op for idx <= newest, so (re)initialize
 		// the slot in place.
-		*w = windowState{index: idx, sets: make([]*ipset.Set, MaxSources)}
+		*w = windowState{index: idx}
 	}
-	if w.sets[source] == nil {
-		w.sets[source] = ipset.New()
-	}
-	w.sets[source].Add(addr)
+	p.insertLocked(w, source, addr)
+	p.accepted++
 	w.dirty = true
 	telemetry.Active().IngestEvent()
+}
+
+// insertLocked lands one accepted event in window w's store. On the
+// default path this is the O(1) incremental histogram update; under
+// Rebuild it is the reference per-source set insert. Stores allocate
+// lazily on a window's first event, and the histogram widens in place
+// when a source registered after the window opened first appears.
+func (p *Pipeline) insertLocked(w *windowState, source int, addr ipv4.Addr) {
+	if p.cfg.Rebuild {
+		if w.sets == nil {
+			w.sets = make([]*ipset.Set, MaxSources)
+		}
+		if w.sets[source] == nil {
+			w.sets[source] = ipset.New()
+		}
+		w.sets[source].Add(addr)
+		return
+	}
+	if w.hist == nil {
+		w.hist = ipset.NewMaskHist(len(p.names))
+	} else if w.hist.T() < len(p.names) {
+		w.hist.Grow(len(p.names))
+	}
+	w.hist.Add(source, addr)
+	telemetry.Active().IngestHistUpdate()
 }
 
 // Advance moves the event clock to t (monotonically: an earlier t is a
@@ -210,17 +309,22 @@ func (p *Pipeline) Advance(t time.Time) {
 // tick at boundary time T summarises exactly the events with time < T:
 // Offer advances the clock before inserting, so an event stamped exactly T
 // is ingested after the tick fires — consistent with half-open windows.
+// Under count-based rotation the clock drives only the tick cadence;
+// windows open and retire on acceptance ordinals in Offer.
 func (p *Pipeline) advanceLocked(t time.Time) {
 	if p.started && !t.After(p.clock) {
 		return
 	}
+	counting := p.cfg.RotateEvery > 0
 	if !p.started {
 		p.started = true
 		p.clock = t
 		// The first tick boundary strictly after the first event; ticks
 		// are aligned to multiples of Every since the epoch, like windows.
 		p.nextTick = t.UnixNano()/int64(p.cfg.Every) + 1
-		p.openLocked(t.UnixNano() / int64(p.cfg.Window))
+		if !counting {
+			p.openLocked(t.UnixNano() / int64(p.cfg.Window))
+		}
 		return
 	}
 	// Fire every tick boundary in (clock, t], oldest first, rotating the
@@ -233,9 +337,21 @@ func (p *Pipeline) advanceLocked(t time.Time) {
 		}
 		at := time.Unix(0, boundary).UTC()
 		p.clock = at
-		p.openLocked((boundary - 1) / int64(p.cfg.Window))
+		if !counting {
+			p.openLocked((boundary - 1) / int64(p.cfg.Window))
+		}
 		p.tickLocked(at)
 		p.nextTick++
+		if counting {
+			// Count-mode windows rotate on intake, not the clock, so the
+			// boundaries a jump crosses would all republish the same
+			// already-flushed windows. Skip to the final boundary, which
+			// bounds the ticks per Advance at a constant.
+			if horizon := t.UnixNano()/int64(p.cfg.Every) - 1; horizon > p.nextTick {
+				p.nextTick = horizon
+			}
+			continue
+		}
 		// A clock jump longer than the whole ring (a quiet feed, or a
 		// far-future event stamp) must not fire one tick per boundary
 		// crossed: every boundary more than one ring span behind t would
@@ -249,14 +365,16 @@ func (p *Pipeline) advanceLocked(t time.Time) {
 		}
 	}
 	p.clock = t
-	p.openLocked(t.UnixNano() / int64(p.cfg.Window))
+	if !counting {
+		p.openLocked(t.UnixNano() / int64(p.cfg.Window))
+	}
 }
 
 // openLocked rotates the ring forward until window idx is live. Each
-// rotation clears exactly one slot — the retired window's sets are dropped
-// wholesale, never rescanned — so the surviving windows' histograms are
-// untouched and a fresh window always starts empty, even after a quiet
-// period that rotates several windows at once.
+// rotation clears exactly one slot — the retired window's store (mask
+// pages or sets) is dropped wholesale, never rescanned — so the surviving
+// windows' histograms are untouched and a fresh window always starts
+// empty, even after a quiet period that rotates several windows at once.
 func (p *Pipeline) openLocked(idx int64) {
 	if idx <= p.newest {
 		return
@@ -286,7 +404,7 @@ func (p *Pipeline) openLocked(idx int64) {
 	}
 	for i := start; i <= idx; i++ {
 		w := &p.ring[int(i%int64(len(p.ring)))]
-		*w = windowState{index: i, sets: make([]*ipset.Set, MaxSources)}
+		*w = windowState{index: i}
 	}
 	p.newest = idx
 	telemetry.Active().IngestRotated(rotated)
@@ -342,11 +460,14 @@ func (p *Pipeline) Subscribe() (<-chan *Tick, func()) {
 }
 
 // tickLocked re-estimates every live window and publishes the tick.
-// Windows are processed oldest first; a window untouched since its last
+// Windows are emitted oldest first; a window untouched since its last
 // estimate republishes the cached figures instead of refitting, and a
 // dirty window's fit seeds from its own previous tick's coefficients when
-// the selected model is unchanged (core.EstimateSweepPoint), which is
-// where the tick-over-tick cheapness comes from.
+// the selected model is unchanged (core.EstimateSweepPoint). When several
+// windows are dirty they re-estimate concurrently: each window's fit is
+// independent (own histogram, own warm state) and results land in
+// index-addressed slots, so the emitted window order and every warm-start
+// handoff are bit-identical to a serial pass.
 func (p *Pipeline) tickLocked(at time.Time) *Tick {
 	t0 := time.Now()
 	p.seq++
@@ -360,19 +481,48 @@ func (p *Pipeline) tickLocked(at time.Time) *Tick {
 	if oldest < 0 {
 		oldest = 0
 	}
+	var dirty []*windowState
+	var slots []int
 	for i := oldest; i <= p.newest; i++ {
 		w := &p.ring[int(i%int64(len(p.ring)))]
 		if w.index != i {
 			continue // never opened (no events, and the clock skipped it)
 		}
+		tick.Windows = append(tick.Windows, WindowEstimate{})
 		if !w.dirty && w.last != nil {
-			tick.Windows = append(tick.Windows, *w.last)
+			tick.Windows[len(tick.Windows)-1] = *w.last
 			continue
 		}
-		we := p.estimateLocked(w)
-		w.last = &we
-		w.dirty = false
-		tick.Windows = append(tick.Windows, we)
+		dirty = append(dirty, w)
+		slots = append(slots, len(tick.Windows)-1)
+	}
+	telemetry.Active().IngestTickParallel(len(dirty))
+	if len(dirty) > 1 {
+		results := make([]WindowEstimate, len(dirty))
+		scratch := make([]*tickScratch, parallel.Workers())
+		parallel.ForEachWorkerCtx(context.Background(), len(dirty), func(worker, k int) {
+			var sc *tickScratch
+			if worker >= 0 && worker < len(scratch) {
+				if scratch[worker] == nil {
+					scratch[worker] = new(tickScratch)
+				}
+				sc = scratch[worker]
+			}
+			results[k] = p.estimateWindow(dirty[k], sc)
+		})
+		for k, w := range dirty {
+			we := results[k]
+			w.last = &we
+			w.dirty = false
+			tick.Windows[slots[k]] = we
+		}
+	} else {
+		for k, w := range dirty {
+			we := p.estimateWindow(w, nil)
+			w.last = &we
+			w.dirty = false
+			tick.Windows[slots[k]] = we
+		}
 	}
 	p.last = tick
 	telemetry.Active().TickDone(time.Since(t0))
@@ -389,36 +539,85 @@ func (p *Pipeline) tickLocked(at time.Time) *Tick {
 	return tick
 }
 
-// estimateLocked fits one window. The per-source sets are handed to the
-// estimator as-is — ipset.CaptureHistogram folds the paged bitmaps
-// directly, so no per-tick set copying or rescanning happens.
-func (p *Pipeline) estimateLocked(w *windowState) WindowEstimate {
-	start := time.Unix(0, w.index*int64(p.cfg.Window)).UTC()
-	we := WindowEstimate{
-		Start: start.Format(time.RFC3339Nano),
-		End:   start.Add(p.cfg.Window).Format(time.RFC3339Nano),
+// windowBounds renders window idx's Start/End labels: wall-clock instants
+// normally, acceptance ordinals under count-based rotation.
+func (p *Pipeline) windowBounds(idx int64) (string, string) {
+	if n := int64(p.cfg.RotateEvery); n > 0 {
+		return fmt.Sprintf("#%d", idx*n), fmt.Sprintf("#%d", (idx+1)*n)
 	}
-	sets := make([]*ipset.Set, 0, len(p.names))
-	names := make([]string, 0, len(p.names))
-	var observed int64
-	for si, name := range p.names {
-		s := w.sets[si]
-		if s == nil || s.Len() == 0 {
-			continue
+	start := time.Unix(0, idx*int64(p.cfg.Window)).UTC()
+	return start.Format(time.RFC3339Nano), start.Add(p.cfg.Window).Format(time.RFC3339Nano)
+}
+
+// estimateWindow fits one window using sc's buffers (sc may be nil for a
+// one-off). On the default path the window's incrementally maintained
+// histogram is handed to the estimator through core.TableFromHistogram —
+// compacted over non-empty sources, which is a bijection on non-zero
+// cells because an empty source contributes no mask bits — so no set
+// fold, copy or rescan happens at tick time. Under Config.Rebuild the
+// original TableFromSets fold runs instead. It only writes per-window
+// state (w.warm), so distinct windows may be estimated concurrently.
+func (p *Pipeline) estimateWindow(w *windowState, sc *tickScratch) WindowEstimate {
+	if sc == nil {
+		sc = new(tickScratch)
+	}
+	var we WindowEstimate
+	we.Start, we.End = p.windowBounds(w.index)
+	var tb *core.Table
+	if p.cfg.Rebuild {
+		sets := sc.sets[:0]
+		names := sc.names[:0]
+		for si, name := range p.names {
+			if w.sets == nil {
+				break
+			}
+			s := w.sets[si]
+			if s == nil || s.Len() == 0 {
+				continue
+			}
+			sets = append(sets, s)
+			names = append(names, name)
 		}
-		sets = append(sets, s)
-		names = append(names, name)
-	}
-	we.Sources = len(sets)
-	if len(sets) == 0 {
-		return we
-	}
-	tb := core.TableFromSets(sets, names)
-	observed = tb.Observed()
-	we.Observed = observed
-	we.Estimate = float64(observed)
-	if len(sets) < 2 {
-		return we // CR cannot see past a single source's union
+		sc.sets, sc.names = sets, names
+		we.Sources = len(sets)
+		if len(sets) == 0 {
+			return we
+		}
+		tb = core.TableFromSets(sets, names)
+		we.Observed = tb.Observed()
+		we.Estimate = float64(we.Observed)
+		if len(sets) < 2 {
+			return we // CR cannot see past a single source's union
+		}
+	} else {
+		h := w.hist
+		if h == nil || h.Len() == 0 {
+			return we
+		}
+		t := h.T()
+		keep := sc.keep[:0]
+		for i := 0; i < t; i++ {
+			if h.SourceLen(i) > 0 {
+				keep = append(keep, i)
+			}
+		}
+		sc.keep = keep
+		we.Sources = len(keep)
+		we.Observed = h.Len()
+		we.Estimate = float64(we.Observed)
+		if len(keep) < 2 {
+			return we
+		}
+		names := sc.names[:0]
+		for _, i := range keep {
+			names = append(names, p.names[i])
+		}
+		sc.names = names
+		counts := h.Histogram()
+		if len(keep) < t {
+			counts = compactHistogram(sc, counts, keep)
+		}
+		tb = core.TableFromHistogram(counts, names)
 	}
 	res, fit, err := p.est.EstimateSweepPoint(tb, w.warm)
 	if err != nil {
@@ -434,4 +633,34 @@ func (p *Pipeline) estimateLocked(w *windowState) WindowEstimate {
 		we.Model = append(we.Model, core.TermName(h))
 	}
 	return we
+}
+
+// compactHistogram folds hist (over the window's full source span) onto
+// the kept source indices, into sc's count buffer. Dropped sources are
+// empty — no stored address has their bit set — so the mask re-indexing
+// is a bijection on non-zero cells and the result is cell-for-cell what
+// core.Table.DropEmptySources would produce.
+func compactHistogram(sc *tickScratch, hist []int64, keep []int) []int64 {
+	n := 1 << uint(len(keep))
+	if cap(sc.counts) < n {
+		sc.counts = make([]int64, n)
+	}
+	counts := sc.counts[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for s, c := range hist {
+		if c == 0 {
+			continue
+		}
+		ns := 0
+		for ni, oi := range keep {
+			if s&(1<<uint(oi)) != 0 {
+				ns |= 1 << uint(ni)
+			}
+		}
+		counts[ns] += c
+	}
+	sc.counts = counts
+	return counts
 }

@@ -15,11 +15,66 @@ const WatchAPIVersion = "ghosts.watch/v1"
 // to OnTick, to Subscribe channels, and (encoded) to SSE clients, so all
 // consumers see identical figures.
 type Tick struct {
-	API     string           `json:"api"`
-	Kind    string           `json:"kind"` // always "tick"
-	Seq     int64            `json:"seq"`  // 1-based, dense
-	At      string           `json:"at"`   // RFC 3339 UTC tick boundary
+	API  string `json:"api"`
+	Kind string `json:"kind"` // always "tick"
+	Seq  int64  `json:"seq"`  // 1-based, dense
+	At   string `json:"at"`   // RFC 3339 UTC tick boundary
+	// Delta marks a frame that carries only the windows whose estimate
+	// changed since the consumer's previous frame (DeltaTick); absent on
+	// full ticks, so the full-tick wire bytes are unchanged from before
+	// delta frames existed.
+	Delta   bool             `json:"delta,omitempty"`
 	Windows []WindowEstimate `json:"windows"`
+}
+
+// DeltaTick derives the frame a delta-mode subscriber needs for cur given
+// that prev was the last full tick it saw. It returns cur itself (a full
+// frame) when prev is nil or the window set rotated since prev — a
+// subscriber cannot delete a retired window from a delta, so rotation
+// forces a resync — a Delta frame holding only the changed windows when
+// some but not all figures moved, and nil when nothing changed at all
+// (the frame is suppressed; the subscriber's next frame still carries a
+// later seq, which SSE clients already tolerate because slow consumers
+// shed ticks). prev and cur must be full ticks, oldest window first.
+func DeltaTick(prev, cur *Tick) *Tick {
+	if prev == nil {
+		return cur
+	}
+	prevBy := make(map[string]*WindowEstimate, len(prev.Windows))
+	for i := range prev.Windows {
+		prevBy[prev.Windows[i].Start] = &prev.Windows[i]
+	}
+	for i := range cur.Windows {
+		delete(prevBy, cur.Windows[i].Start)
+	}
+	if len(prevBy) > 0 {
+		return cur // a window retired: full resync
+	}
+	for i := range prev.Windows {
+		prevBy[prev.Windows[i].Start] = &prev.Windows[i]
+	}
+	var changed []WindowEstimate
+	for i := range cur.Windows {
+		we := &cur.Windows[i]
+		if old, ok := prevBy[we.Start]; ok && old.Equal(we) {
+			continue
+		}
+		changed = append(changed, *we)
+	}
+	if len(changed) == 0 {
+		return nil
+	}
+	if len(changed) == len(cur.Windows) {
+		return cur
+	}
+	return &Tick{
+		API:     cur.API,
+		Kind:    cur.Kind,
+		Seq:     cur.Seq,
+		At:      cur.At,
+		Delta:   true,
+		Windows: changed,
+	}
 }
 
 // Encode renders the tick as one compact JSON line terminated by '\n'.

@@ -11,5 +11,8 @@
 // Intersect, Len, Slash24Len, iteration), CaptureHistogram — which turns t
 // parallel sets into the 2^t−1 capture-history counts the log-linear
 // models consume — and the binary .gset codec (Set.WriteTo/ReadFrom) used
-// by the CLI's -collect/-estimate two-stage pipeline.
+// by the CLI's -collect/-estimate two-stage pipeline. MaskHist is the
+// streaming counterpart of CaptureHistogram: pages of per-address
+// capture masks that maintain the same histogram incrementally, one O(1)
+// cell move per novel (source, address) observation (see STREAMING.md).
 package ipset

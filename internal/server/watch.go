@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"ghosts/internal/ingest"
+	"ghosts/internal/telemetry"
 )
 
 // handleWatch is GET /v1/watch: a server-sent-event stream of estimation
@@ -22,6 +23,13 @@ import (
 // state. On subscribe the most recent tick is replayed first — a client
 // never waits a full cadence interval to learn the current estimate. The
 // stream ends when the client disconnects or the server shuts down.
+//
+// With ?delta=true each subsequent frame carries only the windows whose
+// figures changed since the frame this subscriber last received
+// (ingest.DeltaTick): the subscribe-time replay is always a full tick, a
+// rotation forces a full resync, and a tick that changed nothing is
+// suppressed entirely — the next frame's id then jumps, which SSE clients
+// already tolerate because slow consumers shed ticks.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if s.watch == nil {
 		s.writeError(w, http.StatusNotFound, "watch_disabled",
@@ -34,6 +42,11 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			"response writer cannot stream")
 		return
 	}
+	delta := false
+	switch r.URL.Query().Get("delta") {
+	case "1", "true":
+		delta = true
+	}
 	// Subscribe before replaying the last tick: a tick landing in between
 	// is buffered on the channel rather than lost, and the seq guard below
 	// keeps it from being sent twice.
@@ -45,10 +58,12 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass frames through
 	w.WriteHeader(http.StatusOK)
 	var lastSeq int64
+	var prev *ingest.Tick // last full tick this subscriber saw (delta mode)
 	if tk := s.watch.Last(); tk != nil {
 		writeTickEvent(w, tk)
 		fl.Flush()
 		lastSeq = tk.Seq
+		prev = tk
 	}
 	ctx := r.Context()
 	for {
@@ -63,7 +78,18 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			lastSeq = tk.Seq
-			writeTickEvent(w, tk)
+			frame := tk
+			if delta {
+				frame = ingest.DeltaTick(prev, tk)
+				prev = tk
+				if frame == nil {
+					continue // nothing changed: frame suppressed
+				}
+				if frame.Delta {
+					telemetry.Active().WatchDeltaEmitted()
+				}
+			}
+			writeTickEvent(w, frame)
 			fl.Flush()
 		}
 	}

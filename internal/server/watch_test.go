@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -106,6 +107,94 @@ func TestWatchSSEMatchesPipeline(t *testing.T) {
 		if want := bytes.TrimSuffix(wantLine, []byte("\n")); !bytes.Equal(next, want) {
 			t.Fatalf("streamed tick %d differs from canonical encoding:\n got %s\nwant %s", i, next, want)
 		}
+	}
+}
+
+// TestWatchDeltaMode: with ?delta=1 the stream must replay a full tick on
+// subscribe, then send exactly the frames ingest.DeltaTick derives from
+// the pipeline's full tick series — a delta frame when one window
+// changed, nothing at all when no window changed (the SSE id then
+// jumps), and a full resync when a window rotated out.
+func TestWatchDeltaMode(t *testing.T) {
+	var full []*ingest.Tick
+	p := ingest.New(ingest.Config{
+		Window:  time.Minute,
+		Windows: 3,
+		Every:   30 * time.Second,
+		Sources: []string{"v1", "v2"},
+		OnTick:  func(tk *ingest.Tick) { full = append(full, tk) },
+	})
+	a, _ := p.Source("v1")
+	b, _ := p.Source("v2")
+	base := time.Unix(1700000000, 0).UTC()
+	for i := uint32(0); i < 30; i++ {
+		at := base.Add(time.Duration(i) * 2 * time.Second)
+		p.Offer(a, ipv4.Addr(0x0a000000+i), at)
+		p.Offer(b, ipv4.Addr(0x0a000000+i+15), at)
+	}
+	p.Advance(base.Add(2 * time.Minute))
+	if len(full) == 0 {
+		t.Fatal("pipeline fired no ticks")
+	}
+
+	_, ts := newTestServer(t, Config{Watch: p})
+	resp, err := http.Get(ts.URL + "/v1/watch?delta=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+
+	// Subscribe replay: always a full tick.
+	_, data := readSSEEvent(t, br)
+	prev := full[len(full)-1]
+	if want := bytes.TrimSuffix(prev.Encode(), []byte("\n")); !bytes.Equal(data, want) {
+		t.Fatalf("subscribe replay must be the full last tick:\n got %s\nwant %s", data, want)
+	}
+
+	before := len(full)
+	// Dirty only the newest window → delta frame. Then a cadence tick
+	// with nothing changed → suppressed. Then rotate a window out → full
+	// resync frame.
+	p.Offer(a, ipv4.Addr(0x0a00f000), base.Add(2*time.Minute+time.Second))
+	p.Offer(b, ipv4.Addr(0x0a00f001), base.Add(2*time.Minute+time.Second))
+	p.Advance(base.Add(2*time.Minute + 10*time.Second))
+	p.Advance(base.Add(2*time.Minute + 40*time.Second))
+	p.Offer(a, ipv4.Addr(0x0a00f002), base.Add(2*time.Minute+41*time.Second))
+	p.Advance(base.Add(3*time.Minute + 10*time.Second))
+
+	fresh := full[before:]
+	if len(fresh) < 3 {
+		t.Fatalf("script fired %d ticks, want ≥3", len(fresh))
+	}
+	sawDelta, sawSuppressed, sawResync := false, false, false
+	prevFull := prev
+	for _, tk := range fresh {
+		frame := ingest.DeltaTick(prevFull, tk)
+		prevFull = tk
+		if frame == nil {
+			sawSuppressed = true
+			continue
+		}
+		if frame.Delta {
+			sawDelta = true
+			if len(frame.Windows) >= len(tk.Windows) {
+				t.Fatalf("delta frame carries %d of %d windows", len(frame.Windows), len(tk.Windows))
+			}
+		} else if frame != prev {
+			sawResync = true
+		}
+		id, got := readSSEEvent(t, br)
+		if want := bytes.TrimSuffix(frame.Encode(), []byte("\n")); !bytes.Equal(got, want) {
+			t.Fatalf("delta stream frame differs:\n got %s\nwant %s", got, want)
+		}
+		if wantID := strconv.FormatInt(tk.Seq, 10); id != wantID {
+			t.Fatalf("frame id %q, want %q", id, wantID)
+		}
+	}
+	if !sawDelta || !sawSuppressed || !sawResync {
+		t.Fatalf("script did not exercise all frame kinds: delta=%v suppressed=%v resync=%v",
+			sawDelta, sawSuppressed, sawResync)
 	}
 }
 

@@ -132,16 +132,19 @@ type FleetReport struct {
 // latency. Zero unless the process runs an internal/ingest pipeline
 // (ghostsd with a live feed, or ghosts -replay).
 type IngestReport struct {
-	Events    int64             `json:"events"`
-	Dropped   int64             `json:"dropped"`
-	Rotations int64             `json:"rotations"`
-	TickUS    HistogramSnapshot `json:"tick_us"`
+	Events          int64             `json:"events"`
+	Dropped         int64             `json:"dropped"`
+	Rotations       int64             `json:"rotations"`
+	HistUpdates     int64             `json:"hist_updates"`
+	WindowsParallel int64             `json:"windows_parallel"` // gauge at snapshot time
+	TickUS          HistogramSnapshot `json:"tick_us"`
 }
 
 // WatchReport summarises the /v1/watch SSE endpoint (metric prefix watch).
 type WatchReport struct {
 	Subscribers int64 `json:"subscribers"`
 	TicksShed   int64 `json:"ticks_shed"` // frames dropped on full subscriber buffers
+	Deltas      int64 `json:"deltas"`     // frames sent as deltas instead of full ticks
 }
 
 // PhaseReport is one named pipeline phase (metric prefix phase).
@@ -237,14 +240,17 @@ func (r *Recorder) Report(started, finished time.Time, workers int) *Report {
 		PeerFillMisses: r.PeerFillMisses.Load(),
 	}
 	rep.Ingest = IngestReport{
-		Events:    r.IngestEvents.Load(),
-		Dropped:   r.IngestDropped.Load(),
-		Rotations: r.IngestRotations.Load(),
-		TickUS:    r.TickLatencyUS.Snapshot(),
+		Events:          r.IngestEvents.Load(),
+		Dropped:         r.IngestDropped.Load(),
+		Rotations:       r.IngestRotations.Load(),
+		HistUpdates:     r.IngestHistUpdates.Load(),
+		WindowsParallel: r.IngestWindowsParallel.Load(),
+		TickUS:          r.TickLatencyUS.Snapshot(),
 	}
 	rep.Watch = WatchReport{
 		Subscribers: r.WatchSubscribers.Load(),
 		TicksShed:   r.WatchTicksShed.Load(),
+		Deltas:      r.WatchDeltas.Load(),
 	}
 	for _, name := range r.phaseNames() {
 		p := r.phase(name)

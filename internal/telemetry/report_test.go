@@ -77,11 +77,15 @@ func populate() *Recorder {
 	r.IngestEventDropped()
 	r.IngestRotated(2)
 	r.IngestRotated(0) // no-op: nothing rotated
+	r.IngestHistUpdate()
+	r.IngestHistUpdate()
+	r.IngestTickParallel(3)
 	r.TickDone(3 * time.Millisecond)
 	r.TickDone(5 * time.Millisecond)
 	r.WatchSubscribed()
 	r.WatchTickShed()
 	r.WatchTickShed()
+	r.WatchDeltaEmitted()
 	return r
 }
 
@@ -216,6 +220,8 @@ const goldenReport = `{
     "events": 3,
     "dropped": 1,
     "rotations": 2,
+    "hist_updates": 2,
+    "windows_parallel": 3,
     "tick_us": {
       "count": 2,
       "sum": 8000,
@@ -235,7 +241,8 @@ const goldenReport = `{
   },
   "watch": {
     "subscribers": 1,
-    "ticks_shed": 2
+    "ticks_shed": 2,
+    "deltas": 1
   },
   "phases": [
     {
@@ -311,7 +318,9 @@ func TestReportValidJSONRoundTrip(t *testing.T) {
 		t.Fatalf("schema = %q, want %q", back.Schema, Schema)
 	}
 	if back.Fit.Count != 2 || back.Pool.HitRate != 0.75 || back.Serve.Requests != 2 ||
-		back.Ingest.Events != 3 || back.Watch.Subscribers != 1 || len(back.Phases) != 3 {
+		back.Ingest.Events != 3 || back.Ingest.HistUpdates != 2 ||
+		back.Ingest.WindowsParallel != 3 || back.Watch.Subscribers != 1 ||
+		back.Watch.Deltas != 1 || len(back.Phases) != 3 {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
 }

@@ -273,12 +273,15 @@ type Recorder struct {
 	RequestsTimedOut Counter // estimates that hit the compute deadline (504)
 
 	// Streaming ingest (internal/ingest pipeline, /v1/watch SSE).
-	IngestEvents     Counter   // capture events accepted into a live window
-	IngestDropped    Counter   // events discarded (late arrivals, source overflow, clock skew)
-	IngestRotations  Counter   // live windows retired from the ring
-	TickLatencyUS    Histogram // per-tick re-estimation latency, microseconds
-	WatchSubscribers Counter   // /v1/watch SSE subscriptions opened
-	WatchTicksShed   Counter   // tick frames shed to slow subscribers
+	IngestEvents          Counter   // capture events accepted into a live window
+	IngestDropped         Counter   // events discarded (late arrivals, source overflow, clock skew)
+	IngestRotations       Counter   // live windows retired from the ring
+	IngestHistUpdates     Counter   // O(1) incremental capture-histogram updates applied by Offer
+	IngestWindowsParallel Gauge     // dirty windows the most recent tick re-estimated concurrently
+	TickLatencyUS         Histogram // per-tick re-estimation latency, microseconds
+	WatchSubscribers      Counter   // /v1/watch SSE subscriptions opened
+	WatchTicksShed        Counter   // tick frames shed to slow subscribers
+	WatchDeltas           Counter   // /v1/watch frames sent as deltas instead of full ticks
 
 	mu     sync.Mutex
 	phases map[string]*Phase
@@ -541,6 +544,26 @@ func (r *Recorder) IngestRotated(n int) {
 	r.IngestRotations.Add(int64(n))
 }
 
+// IngestHistUpdate records one incremental capture-histogram update: an
+// accepted event moved one count between histogram cells instead of
+// marking the window for a full set fold at the next tick.
+func (r *Recorder) IngestHistUpdate() {
+	if r == nil {
+		return
+	}
+	r.IngestHistUpdates.Inc()
+}
+
+// IngestTickParallel records how many dirty windows the most recent tick
+// re-estimated through the worker pool (0 when every window was clean,
+// 1 when the tick ran serially).
+func (r *Recorder) IngestTickParallel(n int) {
+	if r == nil {
+		return
+	}
+	r.IngestWindowsParallel.Set(int64(n))
+}
+
 // TickDone records one streaming re-estimation tick's wall latency.
 func (r *Recorder) TickDone(d time.Duration) {
 	if r == nil {
@@ -565,6 +588,16 @@ func (r *Recorder) WatchTickShed() {
 		return
 	}
 	r.WatchTicksShed.Inc()
+}
+
+// WatchDeltaEmitted records one /v1/watch frame sent as a delta — only
+// the windows whose estimate changed since the subscriber's previous
+// frame — instead of a full tick.
+func (r *Recorder) WatchDeltaEmitted() {
+	if r == nil {
+		return
+	}
+	r.WatchDeltas.Inc()
 }
 
 // GateSlots moves the slot-occupancy gauge: +1 when the admission gate

@@ -114,13 +114,39 @@ fi
 # Streaming replay snapshot: run the committed pcap fixture through the
 # ingest pipeline (`ghosts -replay`) with telemetry on. The report's
 # ingest section carries the per-tick re-estimation latency histogram
-# (ingest.tick_us) and the glm_fit section the warm-start counters, so the
-# streaming path's cost is tracked PR over PR alongside batch and serve.
-# Set GHOSTS_BENCH_NO_STREAM=1 to skip it.
+# (ingest.tick_us), the incremental-update counter (ingest.hist_updates)
+# and the glm_fit section the warm-start counters, so the streaming
+# path's cost is tracked PR over PR alongside batch and serve. The two
+# headline numbers — replay throughput in events/sec and the tick-latency
+# p99 — are derived from the report and committed alongside it at the top
+# of the snapshot. Set GHOSTS_BENCH_NO_STREAM=1 to skip it.
 if [ -z "${GHOSTS_BENCH_NO_STREAM:-}" ]; then
     STREAMOUT="$STEM.stream.json"
+    STREAMRAW="$(mktemp)"
     go run ./cmd/ghosts -replay internal/ingest/testdata/stream.pcap -json \
-        -metrics "$STREAMOUT" > /dev/null 2> /dev/null
+        -metrics "$STREAMRAW" > /dev/null 2> /dev/null
+    # events_per_sec = ingest.events over the run's wall clock;
+    # tick_p99_us = the smallest ingest.tick_us bucket bound covering 99%
+    # of ticks (the histogram max if the tail spills past the buckets).
+    awk '
+        NR == 1 { next }                                  # replaced by the wrapper
+        /^  "wall_ms":/  && !wall      { wall = $2 + 0 }
+        $1 == "\"ingest\":"            { ing = 1 }
+        ing && $1 == "\"events\":"     { ev = $2 + 0 }
+        ing && $1 == "\"tick_us\":"    { tick = 1 }
+        tick == 1 && $1 == "\"count\":" { tc = $2 + 0 }
+        tick == 1 && $1 == "\"max\":"   { tmax = $2 + 0 }
+        tick == 1 && $1 == "\"le\":"    { le = $2 + 0 }
+        tick == 1 && $1 == "\"n\":"     { cum += $2; if (!p99 && tc && cum >= 0.99 * tc) p99 = le }
+        tick == 1 && $1 == "]"          { tick = 2 }      # end of the bucket list
+        { body = body $0 "\n" }
+        END {
+            if (!p99) p99 = tmax
+            eps = wall > 0 ? ev / (wall / 1000) : 0
+            printf "{\n  \"events_per_sec\": %.1f,\n  \"tick_p99_us\": %d,\n  \"report\": {\n", eps, p99
+            printf "%s}\n", body
+        }' "$STREAMRAW" > "$STREAMOUT"
+    rm -f "$STREAMRAW"
     echo "wrote $STREAMOUT"
 fi
 

@@ -54,6 +54,19 @@ echo "== streaming ingest (-race) =="
 # uncached as its own named gate (STREAMING.md documents the pipeline).
 go test -race -count=1 ./internal/ingest
 
+echo "== incremental histogram differential + churn (-race) =="
+# The tick path reads per-window capture-mask histograms that Offer
+# mutates in place, and dirty windows re-estimate concurrently
+# (STREAMING.md "Incremental histograms"). Two licences, both named and
+# uncached: the differential suite pins the incremental path bit-identical
+# to the set-rebuild reference (serial and parallel), and the churn test
+# hammers concurrent Offer + tick + subscriber churn — including the
+# delta-frame derivation — under the race detector.
+go test -race -count=1 \
+    -run 'TestIncrementalMatchesRebuild|TestParallelTickMatchesSerial|TestIngestConcurrentChurn' \
+    ./internal/ingest
+go test -race -count=1 -run 'TestWatchDeltaMode|TestWatchSSEMatchesPipeline' ./internal/server
+
 echo "== streaming replay smoke =="
 # Replay the committed capture fixture twice through `ghosts -replay
 # -json`: the runs must be byte-identical (replay determinism), match the
